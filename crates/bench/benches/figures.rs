@@ -1,0 +1,95 @@
+//! Criterion macro-benchmarks: the core MLTCP algorithm and small
+//! end-to-end scenario runs (wall-clock cost of regenerating figure
+//! data, and a regression guard on simulator performance).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mltcp_core::aggressiveness::{Aggressiveness, Linear};
+use mltcp_core::gradient::Descent;
+use mltcp_core::loss::LossFunction;
+use mltcp_core::params::MltcpParams;
+use mltcp_core::shift::ShiftFunction;
+use mltcp_core::tracker::{IterationTracker, TrackerConfig};
+use mltcp_netsim::time::SimTime;
+use mltcp_sched::cassini::optimize_offsets;
+use mltcp_core::schedule::PeriodicJob;
+use mltcp_workload::models;
+use mltcp_workload::scenario::{CongestionSpec, FnSpec, ScenarioBuilder};
+
+fn bench_algorithm(c: &mut Criterion) {
+    c.bench_function("aggressiveness_eval_10k", |b| {
+        let f = Linear::paper_default();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..10_000 {
+                acc += f.eval(i as f64 / 10_000.0);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("tracker_on_ack_10k", |b| {
+        b.iter(|| {
+            let mut t = IterationTracker::new(TrackerConfig::oracle(15_000_000, 1_000_000));
+            for i in 0..10_000u64 {
+                t.on_ack(i * 1_000, 1500);
+            }
+            black_box(t.bytes_ratio())
+        })
+    });
+    c.bench_function("gradient_descent_convergence", |b| {
+        let shift = ShiftFunction::new(MltcpParams::PAPER, 1.8, 0.5).unwrap();
+        let d = Descent::new(shift);
+        b.iter(|| black_box(d.run(0.05, 1e-9, 10_000)))
+    });
+    c.bench_function("loss_closed_form_1k", |b| {
+        let shift = ShiftFunction::new(MltcpParams::PAPER, 1.8, 0.5).unwrap();
+        let l = LossFunction::new(shift);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1_000 {
+                acc += l.eval_periodic(1.8 * i as f64 / 1_000.0);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_cassini(c: &mut Criterion) {
+    c.bench_function("cassini_optimize_fig2_mix", |b| {
+        let jobs = [
+            PeriodicJob::new(1.2, 0.5, 0.0).unwrap().with_bursts(2),
+            PeriodicJob::new(1.8, 0.139, 0.0).unwrap(),
+            PeriodicJob::new(1.8, 0.139, 0.0).unwrap(),
+            PeriodicJob::new(1.8, 0.139, 0.0).unwrap(),
+        ];
+        b.iter(|| black_box(optimize_offsets(&jobs, 120, 2048)))
+    });
+}
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario_runs");
+    g.sample_size(10);
+    for (label, cc) in [
+        ("two_gpt2_reno_5iters", CongestionSpec::Reno),
+        (
+            "two_gpt2_mltcp_5iters",
+            CongestionSpec::MltcpReno(FnSpec::Paper),
+        ),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let rate = models::paper_bottleneck();
+                let mut sb = ScenarioBuilder::new(3);
+                for j in models::gpt2_pack(rate, 1e-3, 5, 2) {
+                    sb = sb.job(j, cc.clone());
+                }
+                let mut sc = sb.build();
+                sc.run(SimTime::from_secs_f64(1.0));
+                black_box(sc.all_finished())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithm, bench_cassini, bench_scenarios);
+criterion_main!(benches);

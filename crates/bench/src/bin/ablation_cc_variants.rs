@@ -1,0 +1,63 @@
+//! **Ablation** — MLTCP over other congestion control algorithms.
+//!
+//! §6: "Other congestion control schemes are augmented in a similar way
+//! to induce shifts in communication start times." We apply the same
+//! wrapper to CUBIC and DCTCP (the latter over an ECN-marking
+//! bottleneck) and compare each augmented variant to its base on the
+//! six-GPT-2 workload: the augmentation should improve (or at least not
+//! hurt) every base.
+
+use mltcp_bench::experiments::{gpt2_jobs, mean_steady_ratio, mix_deadline};
+use mltcp_bench::{iters_or, scale, seed, Figure, Series};
+use mltcp_netsim::queue::QueueKind;
+use mltcp_workload::scenario::{CongestionSpec, FnSpec, ScenarioBuilder};
+
+fn run(scale: f64, iters: u32, cc: CongestionSpec, seed: u64) -> f64 {
+    let mut b = ScenarioBuilder::new(seed);
+    if cc.needs_ecn() {
+        // DCTCP: ECN marking at ~1/3 of the buffer.
+        b = b.bottleneck_queue(QueueKind::EcnDropTail {
+            cap_bytes: 300_000,
+            mark_threshold_bytes: 100_000,
+        });
+    }
+    for j in gpt2_jobs(scale, iters, 6) {
+        b = b.job(j, cc.clone());
+    }
+    let mut sc = b.build();
+    sc.run(mix_deadline(scale, iters));
+    assert!(sc.all_finished(), "{}: did not finish", cc.label());
+    mean_steady_ratio(&sc)
+}
+
+fn main() {
+    let scale = scale();
+    let iters = iters_or(50);
+    let mut fig = Figure::new(
+        "ablation_cc_variants",
+        "MLTCP applied to Reno, CUBIC, and DCTCP — 6 GPT-2 jobs, steady-state mean ratio",
+    );
+
+    let pairs = [
+        (CongestionSpec::Reno, CongestionSpec::MltcpReno(FnSpec::Paper)),
+        (CongestionSpec::Cubic, CongestionSpec::MltcpCubic(FnSpec::Paper)),
+        (CongestionSpec::Dctcp, CongestionSpec::MltcpDctcp(FnSpec::Paper)),
+    ];
+    let mut pts = Vec::new();
+    for (i, (base, augmented)) in pairs.into_iter().enumerate() {
+        let base_label = base.label();
+        let r_base = run(scale, iters, base, seed() + i as u64);
+        let r_aug = run(scale, iters, augmented, seed() + i as u64);
+        fig.metric(format!("{base_label}: base steady (x ideal)"), r_base);
+        fig.metric(format!("{base_label}: mltcp steady (x ideal)"), r_aug);
+        fig.metric(format!("{base_label}: improvement (base/mltcp)"), r_base / r_aug);
+        pts.push((i as f64, r_base / r_aug));
+        assert!(
+            r_aug < r_base * 1.02,
+            "MLTCP-{base_label} must not regress its base: {r_aug} vs {r_base}"
+        );
+    }
+    fig.push_series(Series::from_xy("improvement factor per base CC", pts));
+    fig.note("bases in order: reno, cubic, dctcp (DCTCP pair runs over an ECN-marking bottleneck)");
+    fig.finish();
+}

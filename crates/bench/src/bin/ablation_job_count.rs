@@ -1,0 +1,72 @@
+//! **Ablation** — scaling the number of competing jobs across the
+//! compatibility boundary.
+//!
+//! §4 guarantees convergence only "in scenarios in which an interleaved
+//! schedule exists" (Σa ≤ 1). With the GPT-2 profile (a ≈ 0.139), up to
+//! 7 jobs are compatible; 8+ are not. MLTCP's advantage over Reno should
+//! hold throughout, while absolute iteration ratios rise once demand
+//! exceeds capacity (nothing can interleave an incompatible mix).
+
+use mltcp_bench::experiments::{gpt2_jobs, mean_steady_ratio, mix_deadline, uniform_scenario};
+use mltcp_bench::{iters_or, scale, seed, Figure, Series};
+use mltcp_workload::scenario::{CongestionSpec, FnSpec};
+
+fn main() {
+    let scale = scale();
+    let iters = iters_or(50);
+    let mut fig = Figure::new(
+        "ablation_job_count",
+        "Mean steady iteration ratio vs number of GPT-2 jobs (compatibility boundary ≈ 7)",
+    );
+
+    let mut reno_pts = Vec::new();
+    let mut mltcp_pts = Vec::new();
+    for (i, n) in [2usize, 4, 6, 7, 8].into_iter().enumerate() {
+        let deadline = mix_deadline(scale, iters);
+        let mut reno = uniform_scenario(
+            seed() + i as u64,
+            gpt2_jobs(scale, iters, n),
+            CongestionSpec::Reno,
+        );
+        reno.run(deadline);
+        assert!(reno.all_finished(), "reno n={n}");
+        let r_reno = mean_steady_ratio(&reno);
+
+        let mut ml = uniform_scenario(
+            seed() + i as u64,
+            gpt2_jobs(scale, iters, n),
+            CongestionSpec::MltcpReno(FnSpec::Paper),
+        );
+        ml.run(deadline);
+        assert!(ml.all_finished(), "mltcp n={n}");
+        let r_ml = mean_steady_ratio(&ml);
+
+        fig.metric(format!("n={n}: reno steady (x ideal)"), r_reno);
+        fig.metric(format!("n={n}: mltcp steady (x ideal)"), r_ml);
+        fig.metric(format!("n={n}: improvement"), r_reno / r_ml);
+        reno_pts.push((n as f64, r_reno));
+        mltcp_pts.push((n as f64, r_ml));
+    }
+    fig.push_series(Series::from_xy("reno", reno_pts.clone()));
+    fig.push_series(Series::from_xy("mltcp-reno", mltcp_pts.clone()));
+
+    // In the congested-but-compatible regime (n = 6) the advantage must
+    // be clear; in the incompatible regime (n = 8) MLTCP should still not
+    // be worse than Reno.
+    let idx6 = 2;
+    assert!(
+        mltcp_pts[idx6].1 < reno_pts[idx6].1 * 0.9,
+        "n=6: MLTCP must clearly beat Reno: {} vs {}",
+        mltcp_pts[idx6].1,
+        reno_pts[idx6].1
+    );
+    let idx8 = 4;
+    assert!(
+        mltcp_pts[idx8].1 < reno_pts[idx8].1 * 1.05,
+        "n=8 (incompatible): MLTCP must not regress: {} vs {}",
+        mltcp_pts[idx8].1,
+        reno_pts[idx8].1
+    );
+    fig.note("Σa: 2 jobs 0.28, 4 jobs 0.56, 6 jobs 0.83, 7 jobs 0.97, 8 jobs 1.11 (> 1: no interleaved schedule exists)");
+    fig.finish();
+}

@@ -1,0 +1,80 @@
+//! **Figure 4** — six identical GPT-2 jobs on one bottleneck:
+//! (a) TCP-Reno stays congested, (b) MLTCP-Reno interleaves,
+//! (c) the CDF of iteration times shows a tail speedup (paper: 1.59×).
+
+use mltcp_bench::experiments::{gpt2_jobs, mix_deadline};
+use mltcp_bench::{iters_or, scale, seed, Figure, Series};
+use mltcp_netsim::time::SimDuration;
+use mltcp_workload::scenario::{CongestionSpec, FnSpec};
+use mltcp_workload::stats::{speedup_at, IterationStats};
+
+fn main() {
+    let scale = scale();
+    let iters = iters_or(150);
+    let deadline = mix_deadline(scale, iters);
+    let mut fig = Figure::new(
+        "fig4_six_jobs",
+        "Six GPT-2 jobs: Reno vs MLTCP-Reno bandwidth shares and iteration-time CDF (paper Fig. 4)",
+    );
+    let bin = SimDuration::from_secs_f64(1.8 * scale / 50.0);
+
+    let mut all_durations: Vec<Vec<f64>> = Vec::new();
+    let mut all_steady: Vec<Vec<f64>> = Vec::new();
+    for (label, cc) in [
+        ("reno", CongestionSpec::Reno),
+        ("mltcp-reno", CongestionSpec::MltcpReno(FnSpec::Paper)),
+    ] {
+        let mut b = mltcp_workload::scenario::ScenarioBuilder::new(seed()).trace(bin);
+        for j in gpt2_jobs(scale, iters, 6) {
+            b = b.job(j, cc.clone());
+        }
+        let mut sc = b.build();
+        sc.run(deadline);
+        assert!(sc.all_finished(), "{label}: jobs did not finish");
+
+        // (a)/(b): per-flow bandwidth traces on the bottleneck.
+        let trace = sc.sim.trace(sc.dumbbell.bottleneck).expect("trace on");
+        let t = trace.time_axis_secs();
+        for (i, job) in sc.jobs.iter().enumerate() {
+            let gbps = trace.gbps_series(job.flows[0]);
+            let pts: Vec<(f64, f64)> = t.iter().copied().zip(gbps).collect();
+            fig.push_series(Series::from_xy(format!("{label}: Job{} Gbps", i + 1), pts));
+        }
+
+        // (c): pooled iteration times across all six jobs (lifetime CDF,
+        // as the paper plots it).
+        let pooled: Vec<f64> = (0..6)
+            .flat_map(|i| sc.stats(i).durations().to_vec())
+            .collect();
+        // Steady-state pool: skip each job's first 20 iterations (the
+        // paper's convergence window) for a transient-free comparison.
+        let steady_pool: Vec<f64> = (0..6)
+            .flat_map(|i| sc.stats(i).durations().iter().skip(20).copied().collect::<Vec<_>>())
+            .collect();
+        all_steady.push(steady_pool);
+        let stats = IterationStats::from_durations(pooled.clone());
+        fig.metric(format!("{label}: mean iter (ms)"), stats.mean() * 1e3);
+        fig.metric(format!("{label}: p50 (ms)"), stats.percentile(0.5) * 1e3);
+        fig.metric(format!("{label}: p99 (ms)"), stats.percentile(0.99) * 1e3);
+        let cdf = stats.cdf();
+        fig.push_series(Series::from_xy(
+            format!("{label}: CDF of iteration times (s)"),
+            cdf,
+        ));
+        all_durations.push(pooled);
+    }
+
+    let reno = IterationStats::from_durations(all_durations[0].clone());
+    let mltcp = IterationStats::from_durations(all_durations[1].clone());
+    fig.metric("lifetime tail (p99) speedup reno/mltcp", speedup_at(&reno, &mltcp, 0.99));
+    fig.metric("lifetime p95 speedup reno/mltcp", speedup_at(&reno, &mltcp, 0.95));
+    fig.metric("lifetime median speedup reno/mltcp", speedup_at(&reno, &mltcp, 0.50));
+    fig.metric("lifetime mean speedup reno/mltcp", reno.mean() / mltcp.mean());
+    let reno_ss = IterationStats::from_durations(all_steady[0].clone());
+    let mltcp_ss = IterationStats::from_durations(all_steady[1].clone());
+    fig.metric("steady tail (p99) speedup reno/mltcp", speedup_at(&reno_ss, &mltcp_ss, 0.99));
+    fig.metric("steady p95 speedup reno/mltcp", speedup_at(&reno_ss, &mltcp_ss, 0.95));
+    fig.metric("steady median speedup reno/mltcp", speedup_at(&reno_ss, &mltcp_ss, 0.50));
+    fig.note("paper Fig. 4(c): tail iteration-time speedup of 1.59x for MLTCP over Reno");
+    fig.finish();
+}

@@ -1,0 +1,202 @@
+//! The convergence loss function of §4 (Eq. 4):
+//! `Loss(Δ) = −∫₀^Δ Shift(λ) dλ`.
+//!
+//! Because the shift is what MLTCP adds to the configuration each
+//! iteration, moving along `+Shift` is exactly moving along `−∇Loss`:
+//! MLTCP performs gradient descent on this loss, whose minima are the
+//! fully-interleaved configurations (Fig. 5c).
+//!
+//! For the linear aggressiveness function the integral has a closed form.
+//! With `b = a·T` and `k = b·Intercept/Slope`,
+//!
+//! ```text
+//! Shift(Δ) = Δ(b − Δ)/(k + Δ)
+//! ∫₀^x Shift = −x²/2 + (b + k)·x − k(b + k)·ln(1 + x/k)
+//! Loss(x)   =  x²/2 − (b + k)·x + k(b + k)·ln(1 + x/k)
+//! ```
+//!
+//! This module provides the closed form, a generic quadrature fallback used
+//! to cross-check it (and to handle non-linear aggressiveness functions),
+//! and the periodic extension whose landscape Fig. 5(c) plots.
+
+use crate::shift::ShiftFunction;
+
+/// Closed-form loss for the linear aggressiveness function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossFunction {
+    shift: ShiftFunction,
+}
+
+impl LossFunction {
+    /// Wraps a [`ShiftFunction`] (Eq. 3) into its integrated loss (Eq. 4).
+    pub fn new(shift: ShiftFunction) -> Self {
+        Self { shift }
+    }
+
+    /// The underlying shift function.
+    pub fn shift(&self) -> &ShiftFunction {
+        &self.shift
+    }
+
+    /// `Loss(Δ)` on the native domain. Outside `[0, a·T]` the shift is zero,
+    /// so the loss continues flat at its boundary value.
+    pub fn eval(&self, delta: f64) -> f64 {
+        let b = self.shift.comm_duration();
+        let s = self.shift.params.slope;
+        let i = self.shift.params.intercept;
+        let x = delta.clamp(0.0, b);
+        if s == 0.0 {
+            // Zero slope ⇒ zero shift ⇒ flat loss.
+            return 0.0;
+        }
+        let k = b * i / s;
+        0.5 * x * x - (b + k) * x + k * (b + k) * (1.0 + x / k).ln()
+    }
+
+    /// The periodic loss landscape on `[0, T)` that Fig. 5(c) sketches:
+    /// integrating `−Shift` with the periodic (anti-symmetric) extension.
+    ///
+    /// Maximum at `Δ = 0` (full overlap), descending to a flat minimum
+    /// plateau `[a·T, T − a·T]` (full interleaving), then rising again
+    /// symmetrically toward `Δ = T`.
+    pub fn eval_periodic(&self, delta: f64) -> f64 {
+        let t = self.shift.period;
+        let mut d = delta % t;
+        if d < 0.0 {
+            d += t;
+        }
+        let at = self.shift.comm_duration();
+        if d <= at {
+            self.eval(d)
+        } else if d >= t - at {
+            // ∫ of −(−Shift(T − λ)) mirrors the left branch.
+            self.eval(t - d)
+        } else {
+            self.eval(at)
+        }
+    }
+
+    /// The depth of the loss basin: `Loss(0) − Loss(a·T) = −Loss(a·T)`
+    /// (since `Loss(0) = 0`), i.e. how much "potential" full overlap has
+    /// relative to full interleaving. Always ≥ 0.
+    pub fn basin_depth(&self) -> f64 {
+        -self.eval(self.shift.comm_duration())
+    }
+}
+
+/// Numerically integrates `−shift_fn` from `0` to `delta` with Simpson's
+/// rule (`steps` subintervals, rounded up to even). Cross-checks the closed
+/// form and supports arbitrary (e.g. non-linear-F) shift functions.
+pub fn loss_by_quadrature<F: Fn(f64) -> f64>(shift_fn: F, delta: f64, steps: usize) -> f64 {
+    if delta == 0.0 {
+        return 0.0;
+    }
+    let n = (steps.max(2) + 1) & !1; // even
+    let h = delta / n as f64;
+    let mut acc = shift_fn(0.0) + shift_fn(delta);
+    for j in 1..n {
+        let w = if j % 2 == 1 { 4.0 } else { 2.0 };
+        acc += w * shift_fn(j as f64 * h);
+    }
+    -(acc * h / 3.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MltcpParams;
+
+    fn paper_loss() -> LossFunction {
+        LossFunction::new(ShiftFunction::new(MltcpParams::PAPER, 1.8, 0.5).unwrap())
+    }
+
+    #[test]
+    fn loss_at_zero_is_zero() {
+        assert_eq!(paper_loss().eval(0.0), 0.0);
+    }
+
+    #[test]
+    fn closed_form_matches_quadrature() {
+        let l = paper_loss();
+        let at = l.shift().comm_duration();
+        for i in 1..=20 {
+            let d = at * i as f64 / 20.0;
+            let numeric = loss_by_quadrature(|x| l.shift().eval(x), d, 2000);
+            assert!(
+                (l.eval(d) - numeric).abs() < 1e-8,
+                "at Δ={d}: closed={} numeric={numeric}",
+                l.eval(d)
+            );
+        }
+    }
+
+    #[test]
+    fn loss_is_strictly_decreasing_on_overlap_region() {
+        let l = paper_loss();
+        let at = l.shift().comm_duration();
+        let mut prev = l.eval(0.0);
+        for i in 1..=100 {
+            let v = l.eval(at * i as f64 / 100.0);
+            assert!(v < prev, "loss must decrease while overlap persists");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn periodic_landscape_has_flat_minimum_plateau() {
+        let shift = ShiftFunction::new(MltcpParams::PAPER, 1.8, 1.0 / 6.0).unwrap();
+        let l = LossFunction::new(shift);
+        let at = l.shift().comm_duration();
+        let t = l.shift().period;
+        let floor = l.eval(at);
+        // Plateau between aT and T-aT.
+        for i in 0..=20 {
+            let d = at + (t - 2.0 * at) * i as f64 / 20.0;
+            assert!((l.eval_periodic(d) - floor).abs() < 1e-12);
+        }
+        // Global maximum at the overlap points 0 and T.
+        assert!(l.eval_periodic(0.0) > floor);
+        assert!((l.eval_periodic(0.0) - l.eval_periodic(t - 1e-9)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn half_comm_fraction_minimum_is_at_half_period() {
+        // Fig. 5(c): with a = 1/2 the plateau collapses to the single point
+        // Δ = T/2, the fully interleaved configuration.
+        let l = paper_loss();
+        let t = l.shift().period;
+        let min_at = t / 2.0;
+        let vmin = l.eval_periodic(min_at);
+        for i in 1..100 {
+            let d = t * i as f64 / 100.0;
+            assert!(l.eval_periodic(d) >= vmin - 1e-12);
+        }
+    }
+
+    #[test]
+    fn basin_depth_positive() {
+        assert!(paper_loss().basin_depth() > 0.0);
+    }
+
+    #[test]
+    fn gradient_of_loss_is_negative_shift() {
+        // Finite-difference check: dLoss/dΔ = −Shift(Δ).
+        let l = paper_loss();
+        let at = l.shift().comm_duration();
+        let h = 1e-6;
+        for i in 1..20 {
+            let d = at * i as f64 / 20.0;
+            let fd = (l.eval(d + h) - l.eval(d - h)) / (2.0 * h);
+            assert!(
+                (fd + l.shift().eval(d)).abs() < 1e-5,
+                "at {d}: d/dΔ={fd}, -shift={}",
+                -l.shift().eval(d)
+            );
+        }
+    }
+
+    #[test]
+    fn quadrature_handles_zero_delta() {
+        assert_eq!(loss_by_quadrature(|x| x, 0.0, 100), 0.0);
+    }
+}

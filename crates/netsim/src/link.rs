@@ -1,0 +1,189 @@
+//! Directed channels: rate, propagation delay, loss, and byte accounting.
+//!
+//! A full-duplex cable between two nodes is modelled as two independent
+//! directed channels, each with its own egress queue, serializer, and
+//! counters — matching how real NIC/switch ports behave.
+
+use crate::node::NodeId;
+use crate::queue::QueueKind;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Index of a directed channel within a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// The index as `usize` for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Transmission rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Bandwidth(pub u64);
+
+impl Bandwidth {
+    /// From bits per second.
+    pub const fn bps(b: u64) -> Self {
+        Bandwidth(b)
+    }
+    /// From megabits per second.
+    pub const fn mbps(m: u64) -> Self {
+        Bandwidth(m * 1_000_000)
+    }
+    /// From gigabits per second.
+    pub const fn gbps(g: u64) -> Self {
+        Bandwidth(g * 1_000_000_000)
+    }
+
+    /// Bits per second.
+    pub fn as_bps(self) -> u64 {
+        self.0
+    }
+
+    /// Time to serialize `bytes` at this rate (rounded up to whole ns).
+    pub fn tx_time(self, bytes: u32) -> SimDuration {
+        debug_assert!(self.0 > 0, "zero-rate link");
+        let bits = u128::from(bytes) * 8 * 1_000_000_000;
+        let ns = bits.div_ceil(u128::from(self.0));
+        SimDuration(ns as u64)
+    }
+
+    /// The bandwidth-delay product in bytes for a given round-trip time.
+    pub fn bdp_bytes(self, rtt: SimDuration) -> u64 {
+        ((u128::from(self.0) * u128::from(rtt.as_nanos())) / (8 * 1_000_000_000)) as u64
+    }
+}
+
+/// Static parameters of a directed channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Serialization rate.
+    pub rate: Bandwidth,
+    /// Propagation delay.
+    pub delay: SimDuration,
+    /// Egress queue discipline.
+    pub queue: QueueKind,
+    /// Bernoulli per-packet drop probability applied as the packet leaves
+    /// the serializer (models the random-loss environment of the §5
+    /// fairness analysis). `0.0` disables.
+    pub loss_probability: f64,
+}
+
+impl LinkSpec {
+    /// A lossless drop-tail channel.
+    pub fn new(rate: Bandwidth, delay: SimDuration) -> Self {
+        Self {
+            rate,
+            delay,
+            queue: QueueKind::default_drop_tail(),
+            loss_probability: 0.0,
+        }
+    }
+
+    /// Overrides the queue discipline (builder style).
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
+        self
+    }
+
+    /// Sets a Bernoulli loss probability (builder style).
+    pub fn with_loss(mut self, p: f64) -> Self {
+        self.loss_probability = p.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// Runtime state of a directed channel.
+#[derive(Debug)]
+pub struct Channel {
+    /// The channel's id.
+    pub id: LinkId,
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Static parameters.
+    pub spec: LinkSpec,
+    /// Whether the serializer is currently sending a packet.
+    pub busy: bool,
+    /// Cumulative bytes that completed serialization.
+    pub bytes_sent: u64,
+    /// Cumulative packets that completed serialization.
+    pub packets_sent: u64,
+    /// Cumulative packets dropped at this channel (queue drops + random
+    /// loss).
+    pub packets_dropped: u64,
+}
+
+impl Channel {
+    /// Creates an idle channel.
+    pub fn new(id: LinkId, from: NodeId, to: NodeId, spec: LinkSpec) -> Self {
+        Self {
+            id,
+            from,
+            to,
+            spec,
+            busy: false,
+            bytes_sent: 0,
+            packets_sent: 0,
+            packets_dropped: 0,
+        }
+    }
+
+    /// Serialization time for a packet of `bytes` on this channel.
+    pub fn tx_time(&self, bytes: u32) -> SimDuration {
+        self.spec.rate.tx_time(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_constructors() {
+        assert_eq!(Bandwidth::gbps(50).as_bps(), 50_000_000_000);
+        assert_eq!(Bandwidth::mbps(100).as_bps(), 100_000_000);
+        assert_eq!(Bandwidth::bps(42).as_bps(), 42);
+    }
+
+    #[test]
+    fn tx_time_exact_cases() {
+        // 1500 B at 1 Gbps = 12 µs.
+        assert_eq!(
+            Bandwidth::gbps(1).tx_time(1500),
+            SimDuration::micros(12)
+        );
+        // 1540 B at 50 Gbps = 246.4 ns → rounds up to 247.
+        assert_eq!(Bandwidth::gbps(50).tx_time(1540), SimDuration::nanos(247));
+        // Zero bytes serialize instantly.
+        assert_eq!(Bandwidth::gbps(1).tx_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn tx_time_rounds_up() {
+        // 1 byte at 3 bps = 8/3 s ≈ 2.666…s → ceil to 2_666_666_667 ns.
+        assert_eq!(Bandwidth::bps(3).tx_time(1).as_nanos(), 2_666_666_667);
+    }
+
+    #[test]
+    fn bdp() {
+        // 50 Gbps × 80 µs RTT = 500 kB.
+        let bdp = Bandwidth::gbps(50).bdp_bytes(SimDuration::micros(80));
+        assert_eq!(bdp, 500_000);
+    }
+
+    #[test]
+    fn spec_builders() {
+        let s = LinkSpec::new(Bandwidth::gbps(10), SimDuration::micros(5))
+            .with_loss(0.01)
+            .with_queue(QueueKind::StrictPriority { cap_bytes: 1000 });
+        assert_eq!(s.loss_probability, 0.01);
+        assert!(matches!(s.queue, QueueKind::StrictPriority { .. }));
+        // Loss clamps to [0,1].
+        assert_eq!(LinkSpec::new(Bandwidth::gbps(1), SimDuration::ZERO).with_loss(7.0).loss_probability, 1.0);
+    }
+}

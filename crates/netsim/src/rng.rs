@@ -1,0 +1,140 @@
+//! Deterministic randomness for the simulator.
+//!
+//! All stochastic behaviour — Bernoulli link loss, Gaussian compute-time
+//! jitter, start-time jitter — draws from one seeded ChaCha-based
+//! generator, so a `(topology, workload, seed)` triple fully determines a
+//! run. Experiments vary the seed explicitly to get independent trials.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+
+/// The simulator's random source.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen_bool(p)
+        }
+    }
+
+    /// Uniform in `[lo, hi)`; returns `lo` when the range is empty.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi > lo {
+            self.inner.gen_range(lo..hi)
+        } else {
+            lo
+        }
+    }
+
+    /// Uniform integer in `[0, n)`; returns 0 when `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            self.inner.gen_range(0..n)
+        }
+    }
+
+    /// A sample from `N(mean, stddev²)`; degenerate `stddev <= 0` returns
+    /// `mean` exactly.
+    pub fn gaussian(&mut self, mean: f64, stddev: f64) -> f64 {
+        if stddev <= 0.0 {
+            return mean;
+        }
+        Normal::new(mean, stddev)
+            .expect("stddev checked positive")
+            .sample(&mut self.inner)
+    }
+
+    /// Derives an independent child generator (used to give each job its
+    /// own noise stream so adding a job doesn't perturb the others).
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::new(self.inner.gen())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::new(123);
+        let mut b = SimRng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).all(|_| a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0));
+        assert!(!same);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(7);
+        assert!(!r.chance(0.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn chance_roughly_matches_p() {
+        let mut r = SimRng::new(11);
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn gaussian_degenerate_and_moments() {
+        let mut r = SimRng::new(5);
+        assert_eq!(r.gaussian(3.0, 0.0), 3.0);
+        assert_eq!(r.gaussian(3.0, -1.0), 3.0);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.gaussian(1.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.2, "var={var}");
+    }
+
+    #[test]
+    fn uniform_empty_range() {
+        let mut r = SimRng::new(9);
+        assert_eq!(r.uniform(2.0, 2.0), 2.0);
+        assert_eq!(r.index(0), 0);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_but_deterministic() {
+        let mut a1 = SimRng::new(42);
+        let mut a2 = SimRng::new(42);
+        let mut c1 = a1.fork();
+        let mut c2 = a2.fork();
+        for _ in 0..32 {
+            assert_eq!(c1.uniform(0.0, 1.0), c2.uniform(0.0, 1.0));
+        }
+    }
+}

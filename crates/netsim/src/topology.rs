@@ -1,0 +1,368 @@
+//! Topology construction and static routing.
+//!
+//! The builder accumulates nodes and full-duplex links, then computes
+//! shortest-path routes by BFS (hop count) from every node to every host.
+//! The canonical topology of the paper — and of most of this repository's
+//! experiments — is the dumbbell: N sender hosts and N receiver hosts on
+//! opposite sides of a single bottleneck link between two switches.
+
+use crate::link::{Bandwidth, Channel, LinkId, LinkSpec};
+use crate::node::{Node, NodeId, NodeKind};
+use crate::queue::QueueKind;
+use crate::time::SimDuration;
+use std::collections::VecDeque;
+
+/// A fully-built, routed network.
+#[derive(Debug)]
+pub struct Topology {
+    /// All nodes, indexed by [`NodeId`].
+    pub nodes: Vec<Node>,
+    /// All directed channels, indexed by [`LinkId`].
+    pub channels: Vec<Channel>,
+}
+
+impl Topology {
+    /// The outgoing channel from `node` toward `dst`, per the routing
+    /// table. `None` when unreachable (or when `node == dst`).
+    pub fn next_hop(&self, node: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.nodes[node.index()]
+            .routes
+            .get(dst.index())
+            .copied()
+            .flatten()
+            .map(|i| LinkId(i as u32))
+    }
+
+    /// Hosts in id order.
+    pub fn hosts(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().filter(|n| n.is_host()).map(|n| n.id)
+    }
+
+    /// Finds a channel id by endpoints; panics help tests catch wiring
+    /// mistakes early.
+    pub fn channel_between(&self, from: NodeId, to: NodeId) -> Option<LinkId> {
+        self.channels
+            .iter()
+            .find(|c| c.from == from && c.to == to)
+            .map(|c| c.id)
+    }
+}
+
+/// Errors from [`TopologyBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A host pair has no path between them.
+    Disconnected {
+        /// Source host.
+        from: NodeId,
+        /// Unreachable destination host.
+        to: NodeId,
+    },
+    /// The topology has no hosts.
+    NoHosts,
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::Disconnected { from, to } => {
+                write!(f, "no path from node {} to host {}", from.0, to.0)
+            }
+            TopologyError::NoHosts => write!(f, "topology has no hosts"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Incremental topology builder.
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    nodes: Vec<Node>,
+    channels: Vec<Channel>,
+}
+
+impl TopologyBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a host and returns its id.
+    pub fn host(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(NodeKind::Host, name)
+    }
+
+    /// Adds a switch and returns its id.
+    pub fn switch(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_node(NodeKind::Switch, name)
+    }
+
+    fn add_node(&mut self, kind: NodeKind, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::new(id, kind, name));
+        id
+    }
+
+    /// Adds a full-duplex link (two directed channels, both with `spec`).
+    /// Returns the channel ids `(a→b, b→a)`.
+    pub fn link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> (LinkId, LinkId) {
+        let ab = self.directed(a, b, spec);
+        let ba = self.directed(b, a, spec);
+        (ab, ba)
+    }
+
+    /// Adds a single directed channel with its own spec (used for
+    /// asymmetric configurations, e.g. a lossy forward path with a clean
+    /// reverse path in the fairness experiment).
+    pub fn directed(&mut self, from: NodeId, to: NodeId, spec: LinkSpec) -> LinkId {
+        let id = LinkId(self.channels.len() as u32);
+        self.channels.push(Channel::new(id, from, to, spec));
+        id
+    }
+
+    /// Computes BFS routes and returns the finished topology.
+    pub fn build(mut self) -> Result<Topology, TopologyError> {
+        let n = self.nodes.len();
+        if !self.nodes.iter().any(|x| x.is_host()) {
+            return Err(TopologyError::NoHosts);
+        }
+        // adjacency: node → [(neighbor, channel index)]
+        let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for (ci, c) in self.channels.iter().enumerate() {
+            adj[c.from.index()].push((c.to.index(), ci));
+        }
+        let host_ids: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .filter(|x| x.is_host())
+            .map(|x| x.id)
+            .collect();
+
+        // For each destination host, BFS on the reversed graph to find, for
+        // every node, the first hop of a shortest path toward it.
+        let mut radj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for (ci, c) in self.channels.iter().enumerate() {
+            radj[c.to.index()].push((c.from.index(), ci));
+        }
+        let mut routes: Vec<Vec<Option<usize>>> = vec![vec![None; n]; n];
+        for &dst in &host_ids {
+            let d = dst.index();
+            let mut dist = vec![usize::MAX; n];
+            dist[d] = 0;
+            let mut q = VecDeque::from([d]);
+            while let Some(u) = q.pop_front() {
+                for &(v, ci) in &radj[u] {
+                    if dist[v] == usize::MAX {
+                        dist[v] = dist[u] + 1;
+                        // The channel v→u is v's first hop toward dst.
+                        routes[v][d] = Some(ci);
+                        q.push_back(v);
+                    }
+                }
+            }
+            // Validate: every host can reach every other host.
+            for &src in &host_ids {
+                if src != dst && routes[src.index()][d].is_none() {
+                    return Err(TopologyError::Disconnected { from: src, to: dst });
+                }
+            }
+        }
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            node.routes = routes[i].clone();
+        }
+        Ok(Topology {
+            nodes: self.nodes,
+            channels: self.channels,
+        })
+    }
+}
+
+/// The paper's experimental topology: `pairs` sender hosts on the left,
+/// `pairs` receiver hosts on the right, two switches, and one bottleneck
+/// link between them.
+#[derive(Debug, Clone)]
+pub struct Dumbbell {
+    /// The topology itself.
+    pub senders: Vec<NodeId>,
+    /// Right-side (receiver) hosts, same order as `senders`.
+    pub receivers: Vec<NodeId>,
+    /// Left switch.
+    pub left_switch: NodeId,
+    /// Right switch.
+    pub right_switch: NodeId,
+    /// The left→right bottleneck channel (where the experiments trace
+    /// bandwidth and where the interesting queueing happens).
+    pub bottleneck: LinkId,
+    /// The right→left reverse channel (carries acks).
+    pub reverse: LinkId,
+}
+
+/// Parameters for [`build_dumbbell`].
+#[derive(Debug, Clone, Copy)]
+pub struct DumbbellSpec {
+    /// Number of sender/receiver host pairs.
+    pub pairs: usize,
+    /// Bottleneck rate (the paper: 50 Gbps).
+    pub bottleneck_rate: Bandwidth,
+    /// Edge (host↔switch) rate; should exceed the bottleneck so the
+    /// bottleneck is the only point of contention (the paper's hosts have
+    /// full NIC line rate available).
+    pub edge_rate: Bandwidth,
+    /// One-way propagation delay per hop.
+    pub hop_delay: SimDuration,
+    /// Queue discipline at the bottleneck.
+    pub bottleneck_queue: QueueKind,
+    /// Byte capacity of edge queues.
+    pub edge_queue: QueueKind,
+}
+
+impl Default for DumbbellSpec {
+    fn default() -> Self {
+        // 50 Gbps bottleneck, 100 Gbps edges, 20 µs/hop (≈ 120 µs RTT
+        // across 3 hops each way), 1 BDP of bottleneck buffering.
+        DumbbellSpec {
+            pairs: 2,
+            bottleneck_rate: Bandwidth::gbps(50),
+            edge_rate: Bandwidth::gbps(100),
+            hop_delay: SimDuration::micros(20),
+            bottleneck_queue: QueueKind::DropTail {
+                cap_bytes: 750_000,
+            },
+            edge_queue: QueueKind::DropTail {
+                cap_bytes: 2_000_000,
+            },
+        }
+    }
+}
+
+/// Builds the dumbbell and returns `(topology, handles)`.
+pub fn build_dumbbell(spec: DumbbellSpec) -> (Topology, Dumbbell) {
+    let mut b = TopologyBuilder::new();
+    let left_switch = b.switch("sw-left");
+    let right_switch = b.switch("sw-right");
+    let mut senders = Vec::with_capacity(spec.pairs);
+    let mut receivers = Vec::with_capacity(spec.pairs);
+    let edge = LinkSpec::new(spec.edge_rate, spec.hop_delay).with_queue(spec.edge_queue);
+    for i in 0..spec.pairs {
+        let s = b.host(format!("snd{i}"));
+        let r = b.host(format!("rcv{i}"));
+        b.link(s, left_switch, edge);
+        b.link(right_switch, r, edge);
+        senders.push(s);
+        receivers.push(r);
+    }
+    let bn_spec =
+        LinkSpec::new(spec.bottleneck_rate, spec.hop_delay).with_queue(spec.bottleneck_queue);
+    let (bottleneck, reverse) = b.link(left_switch, right_switch, bn_spec);
+    let topo = b.build().expect("dumbbell is connected by construction");
+    (
+        topo,
+        Dumbbell {
+            senders,
+            receivers,
+            left_switch,
+            right_switch,
+            bottleneck,
+            reverse,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> LinkSpec {
+        LinkSpec::new(Bandwidth::gbps(10), SimDuration::micros(5))
+    }
+
+    #[test]
+    fn two_hosts_direct_link_routes() {
+        let mut b = TopologyBuilder::new();
+        let h0 = b.host("h0");
+        let h1 = b.host("h1");
+        let (ab, ba) = b.link(h0, h1, spec());
+        let t = b.build().unwrap();
+        assert_eq!(t.next_hop(h0, h1), Some(ab));
+        assert_eq!(t.next_hop(h1, h0), Some(ba));
+        assert_eq!(t.next_hop(h0, h0), None);
+    }
+
+    #[test]
+    fn routes_through_switch_chain() {
+        let mut b = TopologyBuilder::new();
+        let h0 = b.host("h0");
+        let s0 = b.switch("s0");
+        let s1 = b.switch("s1");
+        let h1 = b.host("h1");
+        b.link(h0, s0, spec());
+        b.link(s0, s1, spec());
+        b.link(s1, h1, spec());
+        let t = b.build().unwrap();
+        // h0's first hop toward h1 is its only uplink.
+        let up = t.channel_between(h0, s0).unwrap();
+        assert_eq!(t.next_hop(h0, h1), Some(up));
+        // s0 forwards across the middle link.
+        let mid = t.channel_between(s0, s1).unwrap();
+        assert_eq!(t.next_hop(s0, h1), Some(mid));
+    }
+
+    #[test]
+    fn shortest_path_is_preferred() {
+        // Diamond: h0 - a - h1 (2 hops) and h0 - b - c - h1 (3 hops).
+        let mut b = TopologyBuilder::new();
+        let h0 = b.host("h0");
+        let h1 = b.host("h1");
+        let a = b.switch("a");
+        let s_b = b.switch("b");
+        let c = b.switch("c");
+        b.link(h0, a, spec());
+        b.link(a, h1, spec());
+        b.link(h0, s_b, spec());
+        b.link(s_b, c, spec());
+        b.link(c, h1, spec());
+        let t = b.build().unwrap();
+        let via_a = t.channel_between(h0, a).unwrap();
+        assert_eq!(t.next_hop(h0, h1), Some(via_a));
+    }
+
+    #[test]
+    fn disconnected_hosts_error() {
+        let mut b = TopologyBuilder::new();
+        let h0 = b.host("h0");
+        let h1 = b.host("h1");
+        let _ = (h0, h1); // no link
+        match b.build() {
+            Err(TopologyError::Disconnected { .. }) => {}
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_hosts_error() {
+        let mut b = TopologyBuilder::new();
+        b.switch("lonely");
+        assert_eq!(b.build().err(), Some(TopologyError::NoHosts));
+    }
+
+    #[test]
+    fn dumbbell_wiring() {
+        let (t, d) = build_dumbbell(DumbbellSpec {
+            pairs: 4,
+            ..DumbbellSpec::default()
+        });
+        assert_eq!(d.senders.len(), 4);
+        assert_eq!(d.receivers.len(), 4);
+        // Every sender reaches its receiver via the bottleneck: the left
+        // switch's next hop toward any receiver is the bottleneck channel.
+        for &r in &d.receivers {
+            assert_eq!(t.next_hop(d.left_switch, r), Some(d.bottleneck));
+        }
+        for &s in &d.senders {
+            assert_eq!(t.next_hop(d.right_switch, s), Some(d.reverse));
+        }
+        // Hosts iterate: 8 hosts total.
+        assert_eq!(t.hosts().count(), 8);
+    }
+}

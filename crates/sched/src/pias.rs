@@ -1,0 +1,79 @@
+//! The PIAS baseline (Bai et al., NSDI '15).
+//!
+//! PIAS is information-agnostic: senders demote each flow through a
+//! small number of priority levels as its *sent* byte count crosses
+//! per-level thresholds; switches serve strict-priority. Short flows
+//! finish in high-priority levels (approximating SRPT without knowing
+//! sizes). Like pFabric, this favors the jobs with smaller per-iteration
+//! transfers and penalizes the big periodic transfer every iteration.
+
+use mltcp_netsim::link::Bandwidth;
+use mltcp_netsim::queue::QueueKind;
+use mltcp_netsim::time::SimDuration;
+use mltcp_transport::sender::PriorityPolicy;
+use mltcp_workload::scenario::ScenarioBuilder;
+
+/// Geometric demotion thresholds: `base, base·k, base·k², …` for
+/// `levels − 1` boundaries (PIAS deployments use a handful of levels
+/// with roughly geometric spacing).
+pub fn geometric_thresholds(base: u64, factor: u64, levels: usize) -> Vec<u64> {
+    let mut t = Vec::with_capacity(levels.saturating_sub(1));
+    let mut v = base.max(1);
+    for _ in 1..levels.max(1) {
+        t.push(v);
+        v = v.saturating_mul(factor.max(2));
+    }
+    t
+}
+
+/// Applies the PIAS configuration: MLFQ bottleneck + byte-count demotion.
+pub fn apply_pias(
+    builder: ScenarioBuilder,
+    bottleneck: Bandwidth,
+    rtt_hint: SimDuration,
+    thresholds: Vec<u64>,
+) -> ScenarioBuilder {
+    let bdp_bytes = bottleneck.bdp_bytes(rtt_hint).max(30_000);
+    builder
+        .bottleneck(bottleneck)
+        .bottleneck_queue(QueueKind::Mlfq {
+            cap_bytes: bdp_bytes * 4,
+        })
+        .priority_policy(PriorityPolicy::Pias { thresholds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mltcp_netsim::time::SimTime;
+    use mltcp_workload::models;
+    use mltcp_workload::scenario::CongestionSpec;
+
+    #[test]
+    fn thresholds_are_geometric() {
+        assert_eq!(
+            geometric_thresholds(100_000, 10, 4),
+            vec![100_000, 1_000_000, 10_000_000]
+        );
+        assert!(geometric_thresholds(0, 0, 1).is_empty());
+    }
+
+    #[test]
+    fn pias_scenario_completes_and_demotes() {
+        let rate = models::paper_bottleneck();
+        let scale = 5e-3;
+        // Thresholds sized so the GPT-2 transfer spans several levels.
+        let small_bytes = models::gpt2(rate, scale, 1).bytes_per_iter;
+        let thresholds = geometric_thresholds(small_bytes / 4, 4, 4);
+        let b = ScenarioBuilder::new(21)
+            .job(models::gpt3(rate, scale, 3), CongestionSpec::Reno)
+            .job(models::gpt2(rate, scale, 3), CongestionSpec::Reno);
+        let mut sc = apply_pias(b, rate, SimDuration::micros(12), thresholds).build();
+        sc.run(SimTime::from_secs_f64(10.0));
+        assert!(sc.all_finished());
+        // The small job, which never leaves the top levels for long,
+        // stays near its ideal iteration time.
+        let small_ideal = sc.ideal_period(1).as_secs_f64();
+        assert!(sc.stats(1).tail_mean(2) < small_ideal * 1.3);
+    }
+}

@@ -1,0 +1,204 @@
+//! A Swift-style delay-based congestion controller (Kumar et al.,
+//! SIGCOMM '20 — cited by the paper's related work as one of the CC
+//! families MLTCP can augment).
+//!
+//! The sender compares each RTT sample against a fixed target delay:
+//! below target it grows additively (the MLTCP-scaled term), above
+//! target it backs off multiplicatively in proportion to the excess,
+//! clamped like Swift's `max_mdf`. Delay-based control never needs
+//! drops, so it pairs naturally with shallow buffers — and it
+//! demonstrates that the MLTCP augmentation (which only scales the
+//! *increase* step) composes with a base algorithm whose decrease isn't
+//! loss-triggered at all.
+
+use super::{AckEvent, CongestionControl, Window};
+use mltcp_netsim::time::{SimDuration, SimTime};
+
+/// Maximum multiplicative decrease factor per RTT (Swift's `max_mdf`).
+const MAX_MDF: f64 = 0.5;
+/// Additive increase per RTT when below target (packets).
+const AI: f64 = 1.0;
+
+/// Swift-like delay-based congestion control.
+#[derive(Debug, Clone)]
+pub struct Swift {
+    target: SimDuration,
+    /// Last time we applied a multiplicative decrease (at most one per
+    /// RTT, like Swift).
+    last_decrease: SimTime,
+}
+
+impl Swift {
+    /// Creates a controller targeting the given queueing-inclusive RTT.
+    /// Pick ~1.5–3× the base (unloaded) RTT of the path.
+    pub fn new(target: SimDuration) -> Self {
+        Self {
+            target,
+            last_decrease: SimTime::ZERO,
+        }
+    }
+
+    /// The configured target delay.
+    pub fn target(&self) -> SimDuration {
+        self.target
+    }
+}
+
+impl CongestionControl for Swift {
+    fn on_ack(&mut self, ev: &AckEvent, w: &mut Window) {
+        if ev.in_recovery {
+            return;
+        }
+        let Some(rtt) = ev.rtt else {
+            return;
+        };
+        if rtt <= self.target {
+            if w.in_slow_start() {
+                w.cwnd = (w.cwnd + ev.newly_acked_packets).min(w.ssthresh.max(w.cwnd));
+            } else {
+                // Additive increase — the term the MLTCP wrapper scales.
+                w.cwnd += AI * ev.newly_acked_packets / w.cwnd;
+            }
+        } else {
+            // At most one multiplicative decrease per RTT.
+            let since = ev.now - self.last_decrease;
+            if since.as_nanos() >= rtt.as_nanos() {
+                let excess =
+                    (rtt.as_secs_f64() - self.target.as_secs_f64()) / rtt.as_secs_f64();
+                let mdf = excess.clamp(0.0, MAX_MDF);
+                w.ssthresh = (w.cwnd * (1.0 - mdf)).max(Window::MIN_CWND);
+                w.cwnd = w.ssthresh;
+                w.clamp_min();
+                self.last_decrease = ev.now;
+            }
+        }
+    }
+
+    fn on_loss(&mut self, now: SimTime, w: &mut Window) {
+        // Loss is rare for a delay-based controller but still halves.
+        w.ssthresh = (w.cwnd / 2.0).max(Window::MIN_CWND);
+        w.cwnd = w.ssthresh;
+        w.clamp_min();
+        self.last_decrease = now;
+    }
+
+    fn on_timeout(&mut self, now: SimTime, w: &mut Window) {
+        w.ssthresh = (w.cwnd / 2.0).max(Window::MIN_CWND);
+        w.cwnd = Window::MIN_CWND;
+        self.last_decrease = now;
+    }
+
+    fn name(&self) -> &'static str {
+        "swift"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(now_us: u64, rtt_us: u64, pkts: f64) -> AckEvent {
+        AckEvent {
+            now: SimTime(now_us * 1_000),
+            newly_acked_bytes: (pkts * 1500.0) as u64,
+            newly_acked_packets: pkts,
+            rtt: Some(SimDuration::micros(rtt_us)),
+            ecn_echo: false,
+            in_recovery: false,
+        }
+    }
+
+    #[test]
+    fn grows_below_target() {
+        let mut s = Swift::new(SimDuration::micros(100));
+        let mut w = Window::initial(10.0);
+        w.ssthresh = 5.0;
+        let before = w.cwnd;
+        for i in 0..10 {
+            s.on_ack(&ack(i * 100, 50, 1.0), &mut w);
+        }
+        assert!((w.cwnd - before - 1.0).abs() < 0.05, "cwnd={}", w.cwnd);
+    }
+
+    #[test]
+    fn backs_off_above_target_proportionally() {
+        let mut s = Swift::new(SimDuration::micros(100));
+        let mut w = Window::initial(100.0);
+        w.ssthresh = 50.0;
+        w.cwnd = 100.0;
+        // RTT 200 µs = 2× target → excess 0.5, clamped to MAX_MDF.
+        s.on_ack(&ack(1_000, 200, 1.0), &mut w);
+        assert!((w.cwnd - 50.0).abs() < 1e-9, "cwnd={}", w.cwnd);
+    }
+
+    #[test]
+    fn at_most_one_decrease_per_rtt() {
+        let mut s = Swift::new(SimDuration::micros(100));
+        let mut w = Window::initial(100.0);
+        w.ssthresh = 50.0;
+        w.cwnd = 100.0;
+        s.on_ack(&ack(1_000, 200, 1.0), &mut w);
+        let after_first = w.cwnd;
+        // 50 µs later (within the same RTT): no further decrease.
+        s.on_ack(&ack(1_050, 200, 1.0), &mut w);
+        assert_eq!(w.cwnd, after_first);
+        // A full RTT later: another decrease applies.
+        s.on_ack(&ack(1_250, 200, 1.0), &mut w);
+        assert!(w.cwnd < after_first);
+    }
+
+    #[test]
+    fn slow_start_until_first_over_target() {
+        let mut s = Swift::new(SimDuration::micros(100));
+        let mut w = Window::initial(10.0);
+        s.on_ack(&ack(0, 50, 10.0), &mut w);
+        assert_eq!(w.cwnd, 20.0);
+    }
+
+    #[test]
+    fn mild_excess_gives_mild_decrease() {
+        let mut s = Swift::new(SimDuration::micros(100));
+        let mut w = Window::initial(100.0);
+        w.ssthresh = 50.0;
+        w.cwnd = 100.0;
+        // RTT 110 µs: excess ≈ 9.1% → cwnd ≈ 90.9.
+        s.on_ack(&ack(1_000, 110, 1.0), &mut w);
+        assert!((w.cwnd - 100.0 * (1.0 - 10.0 / 110.0)).abs() < 1e-6, "cwnd={}", w.cwnd);
+    }
+
+    #[test]
+    fn loss_and_timeout_still_work() {
+        let mut s = Swift::new(SimDuration::micros(100));
+        let mut w = Window::initial(40.0);
+        s.on_loss(SimTime::ZERO, &mut w);
+        assert_eq!(w.cwnd, 20.0);
+        s.on_timeout(SimTime::ZERO, &mut w);
+        assert_eq!(w.cwnd, Window::MIN_CWND);
+    }
+
+    #[test]
+    fn mltcp_wrapper_scales_swift_increase() {
+        use crate::cc::{Mltcp, MltcpConfig};
+        use mltcp_core::aggressiveness::Linear;
+        let mut m = Mltcp::new(
+            Swift::new(SimDuration::micros(100)),
+            Linear::paper_default(),
+            MltcpConfig::oracle(150_000, SimDuration::millis(10)),
+        );
+        let mut w = Window::initial(10.0);
+        w.ssthresh = 5.0;
+        // Deliver 50% of the iteration, below-target RTTs throughout.
+        let mut now = 0u64;
+        for _ in 0..50 {
+            m.on_ack(&ack(now, 50, 1.0), &mut w);
+            now += 100;
+        }
+        assert!((m.bytes_ratio() - 0.5).abs() < 1e-9);
+        // Next increment is scaled by F(0.5) ≈ 1.125.
+        let before = w.cwnd;
+        m.on_ack(&ack(now, 50, 1.0), &mut w);
+        let gain = (w.cwnd - before) * before;
+        let f = 1.75 * (51.0 * 1500.0 / 150_000.0) + 0.25;
+        assert!((gain - f).abs() < 1e-6, "gain={gain} f={f}");
+    }
+}

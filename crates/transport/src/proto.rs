@@ -1,0 +1,83 @@
+//! The tiny agent-message protocol between workload drivers and transport
+//! endpoints.
+//!
+//! `mltcp-netsim` messages carry a single `u64` token; we pack an opcode
+//! into the top 8 bits and a byte count into the low 56 (2^56 bytes ≈
+//! 72 PB per transfer — five orders of magnitude above any DNN iteration).
+
+/// Messages exchanged between agents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Msg {
+    /// Driver → sender: append `bytes` to the stream and transmit them
+    /// (one training iteration's communication phase).
+    StartTransfer {
+        /// Bytes to transfer.
+        bytes: u64,
+    },
+    /// Sender → driver: a previously started transfer fully acked.
+    TransferComplete {
+        /// Bytes of that transfer.
+        bytes: u64,
+    },
+}
+
+const OP_SHIFT: u32 = 56;
+const PAYLOAD_MASK: u64 = (1 << OP_SHIFT) - 1;
+const OP_START: u64 = 1;
+const OP_COMPLETE: u64 = 2;
+
+/// Encodes a message into a token.
+///
+/// # Panics
+/// Panics if the byte count exceeds 2^56 − 1.
+pub fn encode(msg: Msg) -> u64 {
+    let (op, bytes) = match msg {
+        Msg::StartTransfer { bytes } => (OP_START, bytes),
+        Msg::TransferComplete { bytes } => (OP_COMPLETE, bytes),
+    };
+    assert!(bytes <= PAYLOAD_MASK, "transfer too large to encode");
+    (op << OP_SHIFT) | bytes
+}
+
+/// Decodes a token; `None` for unknown opcodes.
+pub fn decode(token: u64) -> Option<Msg> {
+    let bytes = token & PAYLOAD_MASK;
+    match token >> OP_SHIFT {
+        OP_START => Some(Msg::StartTransfer { bytes }),
+        OP_COMPLETE => Some(Msg::TransferComplete { bytes }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        for msg in [
+            Msg::StartTransfer { bytes: 0 },
+            Msg::StartTransfer { bytes: 1_000_000_000 },
+            Msg::TransferComplete { bytes: 123 },
+            Msg::TransferComplete {
+                bytes: PAYLOAD_MASK,
+            },
+        ] {
+            assert_eq!(decode(encode(msg)), Some(msg));
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_is_none() {
+        assert_eq!(decode(0), None);
+        assert_eq!(decode(u64::MAX), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversize_panics() {
+        encode(Msg::StartTransfer {
+            bytes: PAYLOAD_MASK + 1,
+        });
+    }
+}

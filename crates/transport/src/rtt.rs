@@ -1,0 +1,182 @@
+//! RFC 6298 round-trip time estimation and retransmission timeout.
+//!
+//! Datacenter-tuned defaults: RTO floor of 1 ms (Linux's
+//! `TCP_RTO_MIN`-style 200 ms would be absurd at 50 Gbps / 100 µs RTTs),
+//! ceiling of 4 s, exponential backoff on consecutive timeouts.
+
+use mltcp_netsim::time::SimDuration;
+
+/// SRTT/RTTVAR estimator with RTO computation.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    rto: SimDuration,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+    backoff_exp: u32,
+}
+
+impl RttEstimator {
+    /// A fresh estimator: RTO starts at `initial_rto` until the first
+    /// sample arrives.
+    pub fn new(initial_rto: SimDuration, min_rto: SimDuration, max_rto: SimDuration) -> Self {
+        Self {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            rto: initial_rto,
+            min_rto,
+            max_rto,
+            backoff_exp: 0,
+        }
+    }
+
+    /// Datacenter defaults: initial RTO 10 ms, floor 1 ms, ceiling 4 s.
+    pub fn datacenter() -> Self {
+        Self::new(
+            SimDuration::millis(10),
+            SimDuration::millis(1),
+            SimDuration::secs(4),
+        )
+    }
+
+    /// Feeds one RTT sample (RFC 6298 §2), clearing any timeout backoff.
+    pub fn on_sample(&mut self, rtt: SimDuration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = SimDuration(rtt.as_nanos() / 2);
+            }
+            Some(srtt) => {
+                let diff = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                // rttvar = 3/4 rttvar + 1/4 |srtt - rtt|
+                self.rttvar =
+                    SimDuration((3 * self.rttvar.as_nanos() + diff.as_nanos()) / 4);
+                // srtt = 7/8 srtt + 1/8 rtt
+                self.srtt = Some(SimDuration(
+                    (7 * srtt.as_nanos() + rtt.as_nanos()) / 8,
+                ));
+            }
+        }
+        self.backoff_exp = 0;
+        self.recompute();
+    }
+
+    fn recompute(&mut self) {
+        let srtt = self.srtt.expect("recompute only after a sample");
+        // RTO = SRTT + max(G, 4·RTTVAR); clock granularity G is 1 ns here.
+        let base = srtt + SimDuration(self.rttvar.as_nanos().saturating_mul(4).max(1));
+        let backed_off = SimDuration(
+            base.as_nanos()
+                .saturating_mul(1u64.checked_shl(self.backoff_exp).unwrap_or(u64::MAX)),
+        );
+        self.rto = clamp(backed_off, self.min_rto, self.max_rto);
+    }
+
+    /// Doubles the RTO after a retransmission timeout (RFC 6298 §5.5).
+    pub fn on_timeout(&mut self) {
+        self.backoff_exp = (self.backoff_exp + 1).min(16);
+        match self.srtt {
+            Some(_) => self.recompute(),
+            None => {
+                self.rto = clamp(
+                    SimDuration(self.rto.as_nanos().saturating_mul(2)),
+                    self.min_rto,
+                    self.max_rto,
+                );
+            }
+        }
+    }
+
+    /// The current retransmission timeout.
+    pub fn rto(&self) -> SimDuration {
+        self.rto
+    }
+
+    /// The smoothed RTT, if any sample has been taken.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+}
+
+fn clamp(x: SimDuration, lo: SimDuration, hi: SimDuration) -> SimDuration {
+    if x < lo {
+        lo
+    } else if x > hi {
+        hi
+    } else {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::datacenter();
+        e.on_sample(SimDuration::micros(100));
+        assert_eq!(e.srtt(), Some(SimDuration::micros(100)));
+        // RTO = 100 µs + 4 × 50 µs = 300 µs, floored at 1 ms.
+        assert_eq!(e.rto(), SimDuration::millis(1));
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_rtt() {
+        let mut e = RttEstimator::datacenter();
+        for _ in 0..100 {
+            e.on_sample(SimDuration::micros(200));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!((srtt.as_nanos() as i64 - 200_000).abs() < 2_000);
+        // Variance decays; RTO hits the floor.
+        assert_eq!(e.rto(), SimDuration::millis(1));
+    }
+
+    #[test]
+    fn variance_raises_rto() {
+        let mut e = RttEstimator::datacenter();
+        for i in 0..50 {
+            let rtt = if i % 2 == 0 { 1 } else { 9 };
+            e.on_sample(SimDuration::millis(rtt));
+        }
+        // Oscillating 1/9 ms: srtt ≈ 5 ms, rttvar ≈ 4 ms ⇒ RTO ≈ 21 ms.
+        assert!(e.rto() > SimDuration::millis(10));
+    }
+
+    #[test]
+    fn timeout_backs_off_exponentially_and_sample_resets() {
+        let mut e = RttEstimator::datacenter();
+        e.on_sample(SimDuration::millis(1));
+        let base = e.rto();
+        e.on_timeout();
+        let r1 = e.rto();
+        e.on_timeout();
+        let r2 = e.rto();
+        assert_eq!(r1, base.saturating_mul(2));
+        assert_eq!(r2, base.saturating_mul(4));
+        // A fresh sample clears the backoff (RTO falls back below the
+        // backed-off value; the exact value also reflects variance decay).
+        e.on_sample(SimDuration::millis(1));
+        assert!(e.rto() <= base);
+    }
+
+    #[test]
+    fn rto_respects_ceiling() {
+        let mut e = RttEstimator::datacenter();
+        e.on_sample(SimDuration::secs(2));
+        for _ in 0..10 {
+            e.on_timeout();
+        }
+        assert_eq!(e.rto(), SimDuration::secs(4));
+    }
+
+    #[test]
+    fn pre_sample_timeout_doubles_initial_rto() {
+        let mut e = RttEstimator::datacenter();
+        assert_eq!(e.rto(), SimDuration::millis(10));
+        e.on_timeout();
+        assert_eq!(e.rto(), SimDuration::millis(20));
+    }
+}

@@ -1,0 +1,299 @@
+//! The job driver: the agent that turns a [`JobSpec`] into live traffic.
+//!
+//! Lifecycle per iteration (matching the paper's §4 model):
+//!
+//! 1. **Compute phase** — a timer of `compute_time + N(0, σ²)` (clamped
+//!    at a small positive floor);
+//! 2. **Communication phase** — `StartTransfer` messages to all of the
+//!    job's senders, then wait for every `TransferComplete`;
+//! 3. record the iteration and immediately start the next one — the
+//!    arrival dependency that makes DNN traffic self-shifting.
+
+use crate::job::JobSpec;
+use mltcp_netsim::packet::Packet;
+use mltcp_netsim::rng::SimRng;
+use mltcp_netsim::sim::{Agent, AgentCtx, AgentId};
+use mltcp_netsim::time::{SimDuration, SimTime};
+use mltcp_transport::proto::{self, Msg};
+
+/// One completed training iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IterationRecord {
+    /// Iteration index (0-based).
+    pub index: u32,
+    /// When the iteration (compute phase) began.
+    pub start: SimTime,
+    /// When the communication phase began.
+    pub comm_start: SimTime,
+    /// When the last flow's transfer completed (= start of the next
+    /// iteration).
+    pub end: SimTime,
+}
+
+impl IterationRecord {
+    /// Total iteration duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Communication-phase duration.
+    pub fn comm_duration(&self) -> SimDuration {
+        self.end - self.comm_start
+    }
+}
+
+/// Driver state machine phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Waiting for the start offset.
+    Pending,
+    /// In a compute slice preceding burst `burst_idx`.
+    Computing {
+        /// Which sub-burst follows this compute slice.
+        burst_idx: u32,
+    },
+    /// Waiting for transfer completions of burst `burst_idx`.
+    Communicating {
+        /// Which sub-burst is in flight.
+        burst_idx: u32,
+        /// Flows still in flight.
+        outstanding: usize,
+    },
+    /// All iterations done.
+    Finished,
+}
+
+/// The workload-driving agent for one job.
+#[derive(Debug)]
+pub struct JobDriver {
+    spec: JobSpec,
+    senders: Vec<AgentId>,
+    rng: SimRng,
+    phase: Phase,
+    /// Current iteration's compute-slice duration (noise applied).
+    compute_slice: SimDuration,
+    iter_index: u32,
+    iter_start: SimTime,
+    comm_start: SimTime,
+    records: Vec<IterationRecord>,
+    /// Comm-phase start times, one per iteration (for shift analysis).
+    comm_starts: Vec<SimTime>,
+}
+
+impl JobDriver {
+    const TIMER_BEGIN: u64 = 1;
+    const TIMER_COMPUTE_DONE: u64 = 2;
+
+    /// Creates a driver. Wire its senders afterwards with
+    /// [`JobDriver::wire_senders`] (the driver must be registered first so
+    /// senders can carry its [`AgentId`] in their config). `noise_seed`
+    /// gives the job its own deterministic noise stream.
+    pub fn new(spec: JobSpec, noise_seed: u64) -> Self {
+        Self {
+            spec,
+            senders: Vec::new(),
+            rng: SimRng::new(noise_seed),
+            phase: Phase::Pending,
+            compute_slice: SimDuration::ZERO,
+            iter_index: 0,
+            iter_start: SimTime::ZERO,
+            comm_start: SimTime::ZERO,
+            records: Vec::new(),
+            comm_starts: Vec::new(),
+        }
+    }
+
+    /// Attaches the job's transport senders (one per flow).
+    ///
+    /// # Panics
+    /// Panics if the count does not match `spec.flows`.
+    pub fn wire_senders(&mut self, senders: Vec<AgentId>) {
+        assert_eq!(
+            senders.len(),
+            self.spec.flows,
+            "one sender per flow is required"
+        );
+        self.senders = senders;
+    }
+
+    /// The job's spec.
+    pub fn spec(&self) -> &JobSpec {
+        &self.spec
+    }
+
+    /// Completed iterations.
+    pub fn records(&self) -> &[IterationRecord] {
+        &self.records
+    }
+
+    /// Communication-phase start times (entry i = iteration i), including
+    /// the current in-progress iteration once its comm phase begins.
+    pub fn comm_starts(&self) -> &[SimTime] {
+        &self.comm_starts
+    }
+
+    /// Whether all iterations completed.
+    pub fn is_finished(&self) -> bool {
+        matches!(self.phase, Phase::Finished)
+    }
+
+    fn begin_iteration(&mut self, ctx: &mut AgentCtx<'_>) {
+        if self.iter_index >= self.spec.iterations {
+            self.phase = Phase::Finished;
+            return;
+        }
+        // Centralized pacing: hold the iteration for its planned slot on
+        // the grid `start_offset + k × pace`. A job that fell behind its
+        // nominal slot re-aligns to the *next* grid point — this is what
+        // distinguishes an enforced (Cassini-style) schedule from mere
+        // start offsets, which drift apart as soon as measured iteration
+        // times deviate from the plan.
+        if let Some(pace) = self.spec.pace {
+            let pace_ns = pace.as_nanos().max(1);
+            let off_ns = self.spec.start_offset.as_nanos();
+            let now_ns = ctx.now().as_nanos();
+            let k = if now_ns > off_ns {
+                (now_ns - off_ns).div_ceil(pace_ns)
+            } else {
+                0
+            };
+            let planned = SimTime(off_ns + k * pace_ns);
+            if ctx.now() < planned {
+                self.phase = Phase::Pending;
+                ctx.set_timer(planned - ctx.now(), Self::TIMER_BEGIN);
+                return;
+            }
+        }
+        self.iter_start = ctx.now();
+        // Draw the iteration's compute-time noise once; each of the
+        // `bursts` compute slices gets an equal share.
+        let mean = self.spec.compute_time.as_secs_f64();
+        let sigma = self.spec.noise_stddev.as_secs_f64();
+        let noisy = self.rng.gaussian(mean, sigma).max(mean * 0.01).max(1e-9);
+        self.compute_slice =
+            SimDuration::from_secs_f64(noisy / f64::from(self.spec.bursts.max(1)));
+        self.begin_compute_slice(ctx, 0);
+    }
+
+    fn begin_compute_slice(&mut self, ctx: &mut AgentCtx<'_>, burst_idx: u32) {
+        self.phase = Phase::Computing { burst_idx };
+        ctx.set_timer(self.compute_slice, Self::TIMER_COMPUTE_DONE);
+    }
+
+    /// Bytes of sub-burst `idx` for one flow (the last burst absorbs the
+    /// integer-division remainder).
+    fn burst_bytes(&self, idx: u32) -> u64 {
+        let per_flow = self.spec.bytes_per_flow();
+        let b = u64::from(self.spec.bursts.max(1));
+        let base = per_flow / b;
+        if u64::from(idx) == b - 1 {
+            per_flow - base * (b - 1)
+        } else {
+            base
+        }
+    }
+
+    fn begin_burst(&mut self, ctx: &mut AgentCtx<'_>, burst_idx: u32) {
+        assert_eq!(
+            self.senders.len(),
+            self.spec.flows,
+            "senders were not wired before the run"
+        );
+        if burst_idx == 0 {
+            self.comm_start = ctx.now();
+            self.comm_starts.push(self.comm_start);
+        }
+        let bytes = self.burst_bytes(burst_idx);
+        self.phase = Phase::Communicating {
+            burst_idx,
+            outstanding: self.senders.len(),
+        };
+        for i in 0..self.senders.len() {
+            let sender = self.senders[i];
+            ctx.send_message(sender, proto::encode(Msg::StartTransfer { bytes }));
+        }
+    }
+}
+
+impl Agent for JobDriver {
+    fn start(&mut self, ctx: &mut AgentCtx<'_>) {
+        ctx.set_timer(self.spec.start_offset, Self::TIMER_BEGIN);
+    }
+
+    fn on_packet(&mut self, _ctx: &mut AgentCtx<'_>, _pkt: Packet) {}
+
+    fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, token: u64) {
+        match token {
+            Self::TIMER_BEGIN => {
+                if matches!(self.phase, Phase::Pending) {
+                    // Clear Pending so a re-armed pacing timer can't
+                    // double-start (begin_iteration may re-enter Pending).
+                    self.phase = Phase::Computing { burst_idx: 0 };
+                    self.begin_iteration(ctx);
+                }
+            }
+            Self::TIMER_COMPUTE_DONE => {
+                if let Phase::Computing { burst_idx } = self.phase {
+                    self.begin_burst(ctx, burst_idx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut AgentCtx<'_>, _from: AgentId, token: u64) {
+        let Some(Msg::TransferComplete { .. }) = proto::decode(token) else {
+            return;
+        };
+        let Phase::Communicating {
+            burst_idx,
+            outstanding,
+        } = &mut self.phase
+        else {
+            return;
+        };
+        *outstanding -= 1;
+        if *outstanding > 0 {
+            return;
+        }
+        let burst_idx = *burst_idx;
+        if burst_idx + 1 < self.spec.bursts.max(1) {
+            // More sub-bursts this iteration: next compute slice.
+            self.begin_compute_slice(ctx, burst_idx + 1);
+        } else {
+            self.records.push(IterationRecord {
+                index: self.iter_index,
+                start: self.iter_start,
+                comm_start: self.comm_start,
+                end: ctx.now(),
+            });
+            self.iter_index += 1;
+            self.begin_iteration(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_durations() {
+        let r = IterationRecord {
+            index: 0,
+            start: SimTime(0),
+            comm_start: SimTime(600_000),
+            end: SimTime(1_200_000),
+        };
+        assert_eq!(r.duration(), SimDuration(1_200_000));
+        assert_eq!(r.comm_duration(), SimDuration(600_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "one sender per flow")]
+    fn sender_count_must_match_flows() {
+        let spec = JobSpec::new("j", SimDuration::millis(1), 1000, 1).with_flows(2);
+        let mut d = JobDriver::new(spec, 0);
+        d.wire_senders(vec![AgentId(0)]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # mltcp-workload
+//!
+//! The periodic DNN training/fine-tuning job model — the paper's workload
+//! substrate, rebuilt synthetically (the authors train real GPT-2/GPT-3
+//! models on A100s; what the network sees, and what the paper's §4
+//! analysis models, is an on/off process: a compute phase of fixed
+//! duration followed by a communication phase transferring a fixed byte
+//! count, with the *next iteration starting only when the previous one
+//! completed* — the dependency that distinguishes DNN traffic from
+//! classical periodic traffic).
+//!
+//! * [`job`] — [`job::JobSpec`]: compute time, bytes/iteration, flow
+//!   fan-out, Gaussian compute-time noise, start offset.
+//! * [`models`] — a model zoo calibrated to the paper's figures (GPT-3
+//!   and GPT-2 profiles with the Fig. 1/2 geometry), parameterized by a
+//!   time scale so tests can run millisecond-scale replicas of the
+//!   second-scale testbed scenarios.
+//! * [`driver`] — [`driver::JobDriver`]: the agent that alternates
+//!   compute timers and transport transfers, recording every iteration.
+//! * [`stats`] — iteration-time series analysis: percentiles, CDFs,
+//!   convergence detection, speedups.
+//! * [`scenario`] — a one-stop builder wiring dumbbell topology + jobs +
+//!   congestion control choices into a runnable simulation; used by the
+//!   examples, benches, and integration tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod job;
+pub mod models;
+pub mod scenario;
+pub mod stats;
+
+pub use driver::JobDriver;
+pub use job::JobSpec;
+pub use scenario::{CongestionSpec, FnSpec, Scenario, ScenarioBuilder};
+pub use stats::IterationStats;

@@ -1,0 +1,131 @@
+//! Cross-validation of the paper's §4 theory against the packet-level
+//! simulation: the analytic gradient-descent model and the simulated
+//! two-job system should agree on the *direction* and the *fixed points*
+//! of the sliding dynamic.
+
+use mltcp::core::gradient::{circular_distance, Descent};
+use mltcp::core::params::MltcpParams;
+use mltcp::core::schedule::{contention, PeriodicJob};
+use mltcp::core::shift::ShiftFunction;
+use mltcp::prelude::*;
+
+const SCALE: f64 = 5e-3;
+
+/// The analytic map's prediction: starting from a small offset, two jobs
+/// converge into the zero-shift plateau `[aT, T − aT]`. The simulation
+/// must land its steady-state offset in (a neighbourhood of) the same
+/// plateau.
+#[test]
+fn simulated_fixed_point_lies_in_the_analytic_plateau() {
+    let rate = models::paper_bottleneck();
+    let jobs: Vec<JobSpec> = models::gpt2_pack(rate, SCALE, 35, 2)
+        .into_iter()
+        .map(|j| {
+            let n = j.compute_time.mul_f64(0.01);
+            j.with_noise(n)
+        })
+        .collect();
+    let period = jobs[0].ideal_period(rate).as_secs_f64();
+    let a = jobs[0].comm_fraction(rate);
+
+    // Analytic prediction.
+    let shift = ShiftFunction::new(MltcpParams::PAPER, period, a).expect("valid");
+    let descent = Descent::new(shift);
+    let analytic = descent.run(period * 0.02, 1e-9, 10_000);
+    assert!(analytic.converged);
+    assert!(analytic.is_interleaved(&shift, 1e-6));
+
+    // Simulation.
+    let mut b = ScenarioBuilder::new(21);
+    for j in jobs {
+        b = b.job(j, CongestionSpec::MltcpReno(FnSpec::Paper));
+    }
+    let mut sc = b.build();
+    sc.run(SimTime::from_secs_f64(60.0));
+    assert!(sc.all_finished());
+    let s0 = sc.comm_starts_secs(0);
+    let s1 = sc.comm_starts_secs(1);
+    let n = s0.len().min(s1.len());
+    let late: Vec<f64> = (n - 6..n)
+        .map(|k| circular_distance(s0[k], s1[k], period))
+        .collect();
+    let steady = late.iter().sum::<f64>() / late.len() as f64;
+
+    // The plateau is [aT, T − aT]; transport overhead widens the
+    // effective comm phase ≈ 8%, so allow that much slack at the edge.
+    let at = a * period;
+    assert!(
+        steady >= at * 0.85 && steady <= period - at * 0.85,
+        "simulated steady offset {steady:.6} outside the analytic plateau [{:.6}, {:.6}]",
+        at,
+        period - at
+    );
+}
+
+/// Convergence speed: the analytic model converges in tens of iterations
+/// with the paper's parameters, and the simulation's iteration-time
+/// series settles on a comparable scale (§2: ~20 iterations).
+#[test]
+fn convergence_happens_within_tens_of_iterations() {
+    let shift = ShiftFunction::new(MltcpParams::PAPER, 1.8, 0.5).expect("valid");
+    let descent = Descent::new(shift);
+    let rep = descent.run(0.05, 1e-3, 1_000);
+    assert!(rep.converged && rep.iterations <= 60, "{}", rep.iterations);
+
+    let rate = models::paper_bottleneck();
+    let mut b = ScenarioBuilder::new(5);
+    for j in models::gpt2_pack(rate, SCALE, 40, 6) {
+        let n = j.compute_time.mul_f64(0.01);
+        b = b.job(j.with_noise(n), CongestionSpec::MltcpReno(FnSpec::Paper));
+    }
+    let mut sc = b.build();
+    sc.run(SimTime::from_secs_f64(60.0));
+    assert!(sc.all_finished());
+    // At least half the jobs settle (within 10% of their steady mean)
+    // inside the first ~30 iterations.
+    let settled = (0..6)
+        .filter(|&i| matches!(sc.stats(i).converged_after(0.10, 5), Some(k) if k <= 30))
+        .count();
+    assert!(settled >= 3, "only {settled}/6 jobs settled within 30 iterations");
+}
+
+/// The final simulated comm-phase placements of the six-job packed case
+/// form a low-contention schedule by the analytic contention metric.
+#[test]
+fn final_simulated_schedule_has_low_analytic_contention() {
+    let rate = models::paper_bottleneck();
+    let mut b = ScenarioBuilder::new(9);
+    let jobs = models::gpt2_pack(rate, SCALE, 40, 6);
+    let period = jobs[0].ideal_period(rate).as_secs_f64();
+    let a = jobs[0].comm_fraction(rate);
+    for j in jobs {
+        let n = j.compute_time.mul_f64(0.01);
+        b = b.job(j.with_noise(n), CongestionSpec::MltcpReno(FnSpec::Paper));
+    }
+    let mut sc = b.build();
+    sc.run(SimTime::from_secs_f64(60.0));
+    assert!(sc.all_finished());
+
+    // Take each job's last comm start as its phase and measure the
+    // analytic overlap of the resulting ideal schedule. The measured
+    // period (≈ 4% above nominal) is the right ring circumference.
+    let measured_period = sc.stats(0).tail_mean(5);
+    let phases: Vec<PeriodicJob> = (0..6)
+        .map(|i| {
+            let starts = sc.comm_starts_secs(i);
+            let last = *starts.last().expect("ran");
+            PeriodicJob::new(measured_period, a, last % measured_period).expect("valid")
+        })
+        .collect();
+    let report = contention(&phases, 8192);
+    // Six jobs synchronized would give peak overlap 6; the converged
+    // schedule should be spread out (pairwise collisions at most).
+    assert!(
+        report.peak_overlap <= 3,
+        "converged schedule still clumped: {report:?}"
+    );
+    assert!(
+        report.contended_time_fraction < 0.25,
+        "converged schedule too contended: {report:?}"
+    );
+}
