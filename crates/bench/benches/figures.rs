@@ -7,11 +7,11 @@ use mltcp_core::aggressiveness::{Aggressiveness, Linear};
 use mltcp_core::gradient::Descent;
 use mltcp_core::loss::LossFunction;
 use mltcp_core::params::MltcpParams;
+use mltcp_core::schedule::PeriodicJob;
 use mltcp_core::shift::ShiftFunction;
 use mltcp_core::tracker::{IterationTracker, TrackerConfig};
 use mltcp_netsim::time::SimTime;
 use mltcp_sched::cassini::optimize_offsets;
-use mltcp_core::schedule::PeriodicJob;
 use mltcp_workload::models;
 use mltcp_workload::scenario::{CongestionSpec, FnSpec, ScenarioBuilder};
 

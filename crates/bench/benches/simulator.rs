@@ -4,8 +4,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use mltcp_netsim::event::{EventKind, EventQueue};
 use mltcp_netsim::link::{Bandwidth, LinkSpec};
-use mltcp_netsim::packet::{FlowId, Packet};
 use mltcp_netsim::node::NodeId;
+use mltcp_netsim::packet::{FlowId, Packet};
 use mltcp_netsim::queue::{FifoQueue, PriorityQueue, Queue};
 use mltcp_netsim::rng::SimRng;
 use mltcp_netsim::sim::{Agent, AgentCtx, Simulator};
@@ -26,6 +26,31 @@ fn bench_event_queue(c: &mut Criterion) {
             }
             while let Some(e) = q.pop() {
                 black_box(e);
+            }
+        })
+    });
+    g.finish();
+}
+
+/// Steady-state heap churn: the queue holds a standing population of
+/// pending events (as a mid-run simulation does) and each iteration is
+/// one push + one pop. Unlike `push_pop_10k`'s fill-then-drain, every
+/// sift here works at full depth, so this isolates the cost that
+/// `size_of::<Event>()` multiplies.
+fn bench_event_queue_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("event_queue_churn", |b| {
+        let mut q = EventQueue::new();
+        for i in 0..4_096u64 {
+            q.schedule(SimTime(i * 31), EventKind::Timer { agent: 0, token: i });
+        }
+        let mut t = 4_096u64 * 31;
+        b.iter(|| {
+            for _ in 0..10_000 {
+                t += 17;
+                q.schedule(SimTime(t), EventKind::Timer { agent: 0, token: t });
+                black_box(q.pop());
             }
         })
     });
@@ -87,7 +112,13 @@ impl Agent for Blaster {
     fn start(&mut self, ctx: &mut AgentCtx<'_>) {
         let me = ctx.node();
         for i in 0..self.pkts {
-            ctx.send(Packet::data(FlowId(1), me, self.peer, u64::from(i) * 1500, 1500));
+            ctx.send(Packet::data(
+                FlowId(1),
+                me,
+                self.peer,
+                u64::from(i) * 1500,
+                1500,
+            ));
         }
     }
     fn on_packet(&mut self, _ctx: &mut AgentCtx<'_>, _pkt: Packet) {}
@@ -111,9 +142,67 @@ fn bench_forwarding(c: &mut Criterion) {
                 LinkSpec::new(Bandwidth::gbps(100), SimDuration::micros(1)),
             );
             let mut sim = Simulator::new(tb.build().unwrap(), 0);
-            sim.add_agent(h0, Blaster { peer: h1, pkts: 10_000 });
+            sim.add_agent(
+                h0,
+                Blaster {
+                    peer: h1,
+                    pkts: 10_000,
+                },
+            );
             let sink = sim.add_agent(h1, Sink);
             sim.bind_flow(FlowId(1), sink);
+            sim.run();
+            black_box(sim.stats().delivered)
+        })
+    });
+    g.finish();
+}
+
+/// Like [`bench_forwarding`] but with 16 flows bound on the receiving
+/// node, so every `Deliver` exercises the per-node flow-table lookup
+/// (the dense-map replacement for the old global `HashMap` bindings)
+/// plus the pooled-box recycle on the dispatch path.
+fn bench_delivery_dispatch(c: &mut Criterion) {
+    const FLOWS: u64 = 16;
+    struct FanBlaster {
+        peer: NodeId,
+        pkts: u32,
+    }
+    impl Agent for FanBlaster {
+        fn start(&mut self, ctx: &mut AgentCtx<'_>) {
+            let me = ctx.node();
+            for i in 0..self.pkts {
+                let flow = FlowId(u64::from(i) % FLOWS + 1);
+                ctx.send(Packet::data(flow, me, self.peer, u64::from(i) * 1500, 1500));
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut AgentCtx<'_>, _pkt: Packet) {}
+    }
+
+    let mut g = c.benchmark_group("forwarding");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("delivery_dispatch_16_flows", |b| {
+        b.iter(|| {
+            let mut tb = TopologyBuilder::new();
+            let h0 = tb.host("h0");
+            let h1 = tb.host("h1");
+            tb.link(
+                h0,
+                h1,
+                LinkSpec::new(Bandwidth::gbps(100), SimDuration::micros(1)),
+            );
+            let mut sim = Simulator::new(tb.build().unwrap(), 0);
+            sim.add_agent(
+                h0,
+                FanBlaster {
+                    peer: h1,
+                    pkts: 10_000,
+                },
+            );
+            for f in 1..=FLOWS {
+                let sink = sim.add_agent(h1, Sink);
+                sim.bind_flow(FlowId(f), sink);
+            }
             sim.run();
             black_box(sim.stats().delivered)
         })
@@ -124,8 +213,10 @@ fn bench_forwarding(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_event_queue,
+    bench_event_queue_churn,
     bench_queues,
     bench_rng,
-    bench_forwarding
+    bench_forwarding,
+    bench_delivery_dispatch
 );
 criterion_main!(benches);

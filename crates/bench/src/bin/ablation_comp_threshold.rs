@@ -6,11 +6,13 @@
 //! ablation checks that (a) the gap threshold is forgiving across a wide
 //! range (it only has to separate multi-RTT stalls from the compute
 //! phase), and (b) the autotuned configuration performs like the oracle
-//! after its warmup.
+//! after its warmup. The seven runs (5-point threshold sweep + the
+//! oracle/autotune pair) fan out over [`SweepRunner`] workers.
 
 use mltcp_bench::experiments::{gpt2_jobs, mean_steady_ratio, mix_deadline};
 use mltcp_bench::{iters_or, scale, seed, Figure, Series};
 use mltcp_workload::scenario::{CongestionSpec, FnSpec, ScenarioBuilder};
+use mltcp_workload::SweepRunner;
 
 fn run(scale: f64, iters: u32, frac: f64, autotune: bool, seed: u64) -> f64 {
     let mut b = ScenarioBuilder::new(seed)
@@ -21,7 +23,10 @@ fn run(scale: f64, iters: u32, frac: f64, autotune: bool, seed: u64) -> f64 {
     }
     let mut sc = b.build();
     sc.run(mix_deadline(scale, iters));
-    assert!(sc.all_finished(), "frac={frac} autotune={autotune}: did not finish");
+    assert!(
+        sc.all_finished(),
+        "frac={frac} autotune={autotune}: did not finish"
+    );
     mean_steady_ratio(&sc)
 }
 
@@ -34,14 +39,33 @@ fn main() {
     );
 
     let fracs = [0.05, 0.1, 0.25, 0.5, 0.8];
+    // The 5 oracle threshold points, then the oracle/autotune pair.
+    let mut configs: Vec<(f64, bool, u64)> = fracs
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| (f, false, seed() + i as u64))
+        .collect();
+    configs.push((0.25, false, seed() + 100));
+    configs.push((0.25, true, seed() + 100));
+    let ratios =
+        SweepRunner::new().run(&configs, |_, &(f, auto, sd)| run(scale, iters, f, auto, sd));
+
     let mut pts = Vec::new();
-    for (i, &f) in fracs.iter().enumerate() {
-        let r = run(scale, iters, f, false, seed() + i as u64);
-        fig.metric(format!("oracle threshold frac={f}: mean steady (x ideal)"), r);
+    for (&f, &r) in fracs.iter().zip(&ratios) {
+        fig.metric(
+            format!("oracle threshold frac={f}: mean steady (x ideal)"),
+            r,
+        );
         pts.push((f, r));
     }
-    fig.push_series(Series::from_xy("oracle: steady ratio vs threshold frac", pts.clone()));
-    let spread = pts.iter().map(|&(_, r)| r).fold(f64::NEG_INFINITY, f64::max)
+    fig.push_series(Series::from_xy(
+        "oracle: steady ratio vs threshold frac",
+        pts.clone(),
+    ));
+    let spread = pts
+        .iter()
+        .map(|&(_, r)| r)
+        .fold(f64::NEG_INFINITY, f64::max)
         - pts.iter().map(|&(_, r)| r).fold(f64::INFINITY, f64::min);
     fig.metric("oracle sweep spread (max - min ratio)", spread);
     assert!(
@@ -49,8 +73,8 @@ fn main() {
         "the threshold should be forgiving across 0.05..0.8 of compute: spread {spread}"
     );
 
-    let oracle = run(scale, iters, 0.25, false, seed() + 100);
-    let auto = run(scale, iters, 0.25, true, seed() + 100);
+    let oracle = ratios[fracs.len()];
+    let auto = ratios[fracs.len() + 1];
     fig.metric("oracle (frac=0.25): mean steady", oracle);
     fig.metric("autotune: mean steady", auto);
     fig.metric("autotune penalty (auto/oracle)", auto / oracle);

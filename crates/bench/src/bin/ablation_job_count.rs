@@ -5,11 +5,14 @@
 //! schedule exists" (Σa ≤ 1). With the GPT-2 profile (a ≈ 0.139), up to
 //! 7 jobs are compatible; 8+ are not. MLTCP's advantage over Reno should
 //! hold throughout, while absolute iteration ratios rise once demand
-//! exceeds capacity (nothing can interleave an incompatible mix).
+//! exceeds capacity (nothing can interleave an incompatible mix). The
+//! ten runs (5 job counts × {Reno, MLTCP}) fan out over [`SweepRunner`]
+//! workers.
 
 use mltcp_bench::experiments::{gpt2_jobs, mean_steady_ratio, mix_deadline, uniform_scenario};
 use mltcp_bench::{iters_or, scale, seed, Figure, Series};
 use mltcp_workload::scenario::{CongestionSpec, FnSpec};
+use mltcp_workload::SweepRunner;
 
 fn main() {
     let scale = scale();
@@ -19,28 +22,35 @@ fn main() {
         "Mean steady iteration ratio vs number of GPT-2 jobs (compatibility boundary ≈ 7)",
     );
 
+    let counts = [2usize, 4, 6, 7, 8];
+    // One sweep job per (job count, congestion control); both CCs at a
+    // given count share a seed so they face the same noise draws.
+    let configs: Vec<(usize, bool, u64)> = counts
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &n)| [(n, false, seed() + i as u64), (n, true, seed() + i as u64)])
+        .collect();
+    let ratios = SweepRunner::new().run(&configs, |_, &(n, mltcp, sd)| {
+        let cc = if mltcp {
+            CongestionSpec::MltcpReno(FnSpec::Paper)
+        } else {
+            CongestionSpec::Reno
+        };
+        let mut sc = uniform_scenario(sd, gpt2_jobs(scale, iters, n), cc);
+        sc.run(mix_deadline(scale, iters));
+        assert!(
+            sc.all_finished(),
+            "{} n={n}",
+            if mltcp { "mltcp" } else { "reno" }
+        );
+        mean_steady_ratio(&sc)
+    });
+
     let mut reno_pts = Vec::new();
     let mut mltcp_pts = Vec::new();
-    for (i, n) in [2usize, 4, 6, 7, 8].into_iter().enumerate() {
-        let deadline = mix_deadline(scale, iters);
-        let mut reno = uniform_scenario(
-            seed() + i as u64,
-            gpt2_jobs(scale, iters, n),
-            CongestionSpec::Reno,
-        );
-        reno.run(deadline);
-        assert!(reno.all_finished(), "reno n={n}");
-        let r_reno = mean_steady_ratio(&reno);
-
-        let mut ml = uniform_scenario(
-            seed() + i as u64,
-            gpt2_jobs(scale, iters, n),
-            CongestionSpec::MltcpReno(FnSpec::Paper),
-        );
-        ml.run(deadline);
-        assert!(ml.all_finished(), "mltcp n={n}");
-        let r_ml = mean_steady_ratio(&ml);
-
+    for (i, &n) in counts.iter().enumerate() {
+        let r_reno = ratios[2 * i];
+        let r_ml = ratios[2 * i + 1];
         fig.metric(format!("n={n}: reno steady (x ideal)"), r_reno);
         fig.metric(format!("n={n}: mltcp steady (x ideal)"), r_ml);
         fig.metric(format!("n={n}: improvement"), r_reno / r_ml);

@@ -7,11 +7,13 @@
 //! and convergence behaviour. Expected: a wide basin of working
 //! parameters as long as the dynamic range is large (requirement (i)) —
 //! tiny slopes (weak differentiation) or huge intercepts (flows nearly
-//! uniform) degrade toward plain Reno.
+//! uniform) degrade toward plain Reno. The six grid points fan out over
+//! [`SweepRunner`] workers.
 
 use mltcp_bench::experiments::{gpt2_jobs, mean_steady_ratio, mix_deadline, uniform_scenario};
 use mltcp_bench::{iters_or, scale, seed, Figure, Series};
 use mltcp_workload::scenario::{CongestionSpec, FnSpec};
+use mltcp_workload::SweepRunner;
 
 fn main() {
     let scale = scale();
@@ -30,8 +32,7 @@ fn main() {
         (1.75, 1.0),  // large intercept: range only 2.75x
         (4.0, 0.25),  // steep slope
     ];
-    let mut pts = Vec::new();
-    for (i, &(slope, intercept)) in grid.iter().enumerate() {
+    let ratios = SweepRunner::new().run(&grid, |i, &(slope, intercept)| {
         let mut sc = uniform_scenario(
             seed() + i as u64,
             gpt2_jobs(scale, iters, 6),
@@ -39,11 +40,21 @@ fn main() {
         );
         sc.run(deadline);
         assert!(sc.all_finished(), "S={slope} I={intercept}: did not finish");
-        let ratio = mean_steady_ratio(&sc);
-        fig.metric(format!("S={slope} I={intercept}: mean steady (x ideal)"), ratio);
+        mean_steady_ratio(&sc)
+    });
+
+    let mut pts = Vec::new();
+    for (i, (&(slope, intercept), &ratio)) in grid.iter().zip(&ratios).enumerate() {
+        fig.metric(
+            format!("S={slope} I={intercept}: mean steady (x ideal)"),
+            ratio,
+        );
         pts.push((i as f64, ratio));
     }
-    fig.push_series(Series::from_xy("mean steady ratio per grid point", pts.clone()));
+    fig.push_series(Series::from_xy(
+        "mean steady ratio per grid point",
+        pts.clone(),
+    ));
 
     let reno_like = pts[0].1; // (0, 1) == plain Reno
     let paper = pts[2].1;

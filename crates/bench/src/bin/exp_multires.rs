@@ -6,11 +6,17 @@
 //! (`mltcp-sched::multires`) with the paper's F against fair sharing:
 //! progress-based allocation interleaves the bursts (iteration times fall
 //! to the ideal), fair sharing preserves the contended alignment.
+//!
+//! The job lists are drawn from the base RNG on the main thread (so the
+//! draw order is fixed), then the four independent simulations (2-job and
+//! 4-job, each progress-based and fair) fan out over [`SweepRunner`]
+//! workers.
 
 use mltcp_bench::{seed, Figure, Series};
 use mltcp_core::aggressiveness::{Constant, Linear};
 use mltcp_netsim::rng::SimRng;
 use mltcp_sched::multires::{simulate, CpuJob};
+use mltcp_workload::SweepRunner;
 
 fn main() {
     let mut fig = Figure::new(
@@ -32,12 +38,37 @@ fn main() {
         .collect();
     let ideal = jobs[0].ideal_period();
 
-    for (label, steady_expect_low) in [("progress-based (F = 1.75r + 0.25)", true), ("fair (F = 1)", false)] {
-        let results = if steady_expect_low {
-            simulate(&jobs, 8.0, &Linear::paper_default(), 120.0, 1e-3)
+    // Four-job, capped-parallelism variant (a = 1/4 each — compatible).
+    let jobs4: Vec<CpuJob> = (0..4)
+        .map(|_| CpuJob {
+            think: 1.5,
+            work: 4.0,
+            max_parallelism: 8.0,
+            offset: rng.uniform(0.0, 0.1),
+        })
+        .collect();
+    let ideal4 = jobs4[0].ideal_period();
+
+    // (two-job mix?, progress-based?) — input order mirrors the figure's
+    // presentation order.
+    let configs = [(true, true), (true, false), (false, true), (false, false)];
+    let runs = SweepRunner::new().run(&configs, |_, &(two, progress)| {
+        let (js, horizon) = if two {
+            (&jobs[..], 120.0)
         } else {
-            simulate(&jobs, 8.0, &Constant(1.0), 120.0, 1e-3)
+            (&jobs4[..], 200.0)
         };
+        if progress {
+            simulate(js, 8.0, &Linear::paper_default(), horizon, 1e-3)
+        } else {
+            simulate(js, 8.0, &Constant(1.0), horizon, 1e-3)
+        }
+    });
+
+    for (label, results) in [
+        ("progress-based (F = 1.75r + 0.25)", &runs[0]),
+        ("fair (F = 1)", &runs[1]),
+    ] {
         for (i, r) in results.iter().enumerate() {
             let series: Vec<f64> = r.iteration_times.iter().map(|t| t / ideal).collect();
             fig.metric(
@@ -54,20 +85,8 @@ fn main() {
         fig.metric(format!("{label}: mean steady (x ideal)"), avg);
     }
 
-    // Four-job, capped-parallelism variant (a = 1/4 each — compatible).
-    let jobs4: Vec<CpuJob> = (0..4)
-        .map(|_| CpuJob {
-            think: 1.5,
-            work: 4.0,
-            max_parallelism: 8.0,
-            offset: rng.uniform(0.0, 0.1),
-        })
-        .collect();
-    let ideal4 = jobs4[0].ideal_period();
-    let prog = simulate(&jobs4, 8.0, &Linear::paper_default(), 200.0, 1e-3);
-    let fair = simulate(&jobs4, 8.0, &Constant(1.0), 200.0, 1e-3);
-    let pm = prog.iter().map(|r| r.tail_mean(5)).sum::<f64>() / 4.0 / ideal4;
-    let fm = fair.iter().map(|r| r.tail_mean(5)).sum::<f64>() / 4.0 / ideal4;
+    let pm = runs[2].iter().map(|r| r.tail_mean(5)).sum::<f64>() / 4.0 / ideal4;
+    let fm = runs[3].iter().map(|r| r.tail_mean(5)).sum::<f64>() / 4.0 / ideal4;
     fig.metric("4 jobs: progress-based mean steady (x ideal)", pm);
     fig.metric("4 jobs: fair mean steady (x ideal)", fm);
     assert!(

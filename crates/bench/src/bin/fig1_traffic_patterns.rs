@@ -4,12 +4,23 @@
 //! (GPT-2): periodic bursts to ~50 Gbps separated by compute silences,
 //! with GPT-3 showing a multi-burst communication phase. We run each
 //! profile alone on the 50 Gbps dumbbell and record the bottleneck's
-//! per-flow bandwidth trace.
+//! per-flow bandwidth trace. The two isolated runs are independent, so
+//! they fan out over [`SweepRunner`] workers.
 
 use mltcp_bench::{deadline, iters_or, scale, seed, Figure, Series};
 use mltcp_netsim::time::SimDuration;
 use mltcp_workload::models;
 use mltcp_workload::scenario::{CongestionSpec, ScenarioBuilder};
+use mltcp_workload::SweepRunner;
+
+/// The `Send` payload a worker returns for one isolated-job run.
+struct IsoRun {
+    name: String,
+    comm_frac: f64,
+    peak: f64,
+    duty: f64,
+    points: Vec<(f64, f64)>,
+}
 
 fn main() {
     let scale = scale();
@@ -22,13 +33,11 @@ fn main() {
     // Bin width: 1/100 of the GPT-2 period keeps the on/off shape crisp.
     let bin = SimDuration::from_secs_f64(1.8 * scale / 100.0);
 
-    for (idx, job) in [
-        models::gpt3(rate, scale, iters),
-        models::gpt2(rate, scale, iters),
-    ]
-    .into_iter()
-    .enumerate()
-    {
+    let runs = SweepRunner::new().run(&[0usize, 1], |_, &idx| {
+        let job = match idx {
+            0 => models::gpt3(rate, scale, iters),
+            _ => models::gpt2(rate, scale, iters),
+        };
         let name = job.name.clone();
         let period = job.ideal_period(rate).as_secs_f64();
         let comm_frac = job.comm_fraction(rate);
@@ -50,10 +59,20 @@ fn main() {
         let peak = gbps.iter().copied().fold(0.0, f64::max);
         let busy_bins = gbps.iter().filter(|&&g| g > 1.0).count();
         let duty = busy_bins as f64 / gbps.len().max(1) as f64;
-        fig.metric(format!("{name}: peak_gbps"), peak);
-        fig.metric(format!("{name}: duty_cycle"), duty);
-        fig.metric(format!("{name}: nominal_comm_fraction"), comm_frac);
-        fig.push_series(Series::from_xy(name, points));
+        IsoRun {
+            name,
+            comm_frac,
+            peak,
+            duty,
+            points,
+        }
+    });
+
+    for r in runs {
+        fig.metric(format!("{}: peak_gbps", r.name), r.peak);
+        fig.metric(format!("{}: duty_cycle", r.name), r.duty);
+        fig.metric(format!("{}: nominal_comm_fraction", r.name), r.comm_frac);
+        fig.push_series(Series::from_xy(r.name, r.points));
     }
 
     fig.note(format!(

@@ -11,13 +11,18 @@
 //!   the optimal centralized schedule"), within tens of iterations;
 //! * pFabric's SRPT systematically delays J1 (the job with the largest
 //!   transfers) — the paper reports a 1.5× slowdown.
+//!
+//! The four scheduler runs are independent simulations; they fan out
+//! over [`SweepRunner`] workers and the figure is assembled from the
+//! returned [`RunSummary`]s in input order.
 
 use mltcp_bench::experiments::{
-    cassini_scenario, fig2_jobs, mean_steady_ratio, mix_deadline, pfabric_scenario,
-    uniform_scenario,
+    cassini_scenario, fig2_jobs, mix_deadline, pfabric_scenario, print_summary_table,
+    summarize_run, uniform_scenario,
 };
-use mltcp_bench::{iters_or, print_job_table, scale, seed, Figure, Series};
+use mltcp_bench::{iters_or, scale, seed, Figure, Series};
 use mltcp_workload::scenario::{CongestionSpec, FnSpec};
+use mltcp_workload::SweepRunner;
 
 fn main() {
     let scale = scale();
@@ -28,57 +33,52 @@ fn main() {
         "Scheduling 4 DNN jobs: Cassini vs pFabric vs MLTCP vs Reno (paper Fig. 2)",
     );
 
-    let run = |label: &str, mut sc: mltcp_workload::Scenario, fig: &mut Figure| -> f64 {
+    let variants = ["reno", "mltcp-reno", "cassini", "pfabric"];
+    let summaries = SweepRunner::new().run(&variants, |_, &label| {
+        let jobs = fig2_jobs(scale, iters);
+        let mut sc = match label {
+            "reno" => uniform_scenario(seed(), jobs, CongestionSpec::Reno),
+            "mltcp-reno" => {
+                uniform_scenario(seed(), jobs, CongestionSpec::MltcpReno(FnSpec::Paper))
+            }
+            "cassini" => cassini_scenario(seed(), jobs),
+            _ => pfabric_scenario(seed(), jobs),
+        };
         sc.run(deadline);
         assert!(sc.all_finished(), "{label}: jobs did not finish");
-        print_job_table(label, &sc);
-        for (i, r) in sc.reports().iter().enumerate() {
-            let ideal = sc.ideal_period(i).as_secs_f64();
+        summarize_run(&sc)
+    });
+
+    for (label, rs) in variants.iter().zip(&summaries) {
+        print_summary_table(label, rs);
+        for ((r, &ideal), durs) in rs.jobs.iter().zip(&rs.ideals).zip(&rs.durations) {
             fig.metric(
                 format!("{label}: {} steady (x ideal)", r.name),
                 r.steady_secs / ideal,
             );
             fig.push_series(Series::from_y(
                 format!("{label}: {} iteration times (x ideal)", r.name),
-                sc.stats(i).durations().iter().map(|d| d / ideal).collect(),
+                durs.iter().map(|d| d / ideal).collect(),
             ));
             if let Some(c) = r.converged_after {
                 fig.metric(format!("{label}: {} converged_after", r.name), c as f64);
             }
         }
-        mean_steady_ratio(&sc)
-    };
+    }
 
-    let reno = run(
-        "reno",
-        uniform_scenario(seed(), fig2_jobs(scale, iters), CongestionSpec::Reno),
-        &mut fig,
-    );
-    let mltcp = run(
-        "mltcp-reno",
-        uniform_scenario(
-            seed(),
-            fig2_jobs(scale, iters),
-            CongestionSpec::MltcpReno(FnSpec::Paper),
-        ),
-        &mut fig,
-    );
-    let cassini = run(
-        "cassini",
-        cassini_scenario(seed(), fig2_jobs(scale, iters)),
-        &mut fig,
-    );
-    let pfabric = run(
-        "pfabric",
-        pfabric_scenario(seed(), fig2_jobs(scale, iters)),
-        &mut fig,
-    );
+    let reno = summaries[0].mean_steady_ratio;
+    let mltcp = summaries[1].mean_steady_ratio;
+    let cassini = summaries[2].mean_steady_ratio;
+    let pfabric = summaries[3].mean_steady_ratio;
 
     fig.metric("mean steady ratio: reno", reno);
     fig.metric("mean steady ratio: mltcp-reno", mltcp);
     fig.metric("mean steady ratio: cassini (optimal)", cassini);
     fig.metric("mean steady ratio: pfabric", pfabric);
-    fig.metric("mltcp vs cassini gap (avg, %)", (mltcp / cassini - 1.0) * 100.0);
+    fig.metric(
+        "mltcp vs cassini gap (avg, %)",
+        (mltcp / cassini - 1.0) * 100.0,
+    );
     fig.note(
         "paper: Cassini = optimal; MLTCP within ~5% of it on average; \
          pFabric slows J1 ~1.5x. Expected shape: cassini <= mltcp < reno, \

@@ -3,12 +3,14 @@
 //! Three GPT-2 jobs share the bottleneck under MLTCP-Reno with each of
 //! F1..F6. The paper shows the increasing functions (F1–F4) converging to
 //! an interleaved state (iteration times fall after ~20 iterations) while
-//! the decreasing controls (F5, F6) never improve.
+//! the decreasing controls (F5, F6) never improve. The six runs fan out
+//! over [`SweepRunner`] workers, one per candidate function.
 
 use mltcp_bench::experiments::{gpt2_jobs, mix_deadline, uniform_scenario};
 use mltcp_bench::{iters_or, scale, seed, Figure, Series};
 use mltcp_core::aggressiveness::{Aggressiveness, FigureFunction};
 use mltcp_workload::scenario::{CongestionSpec, FnSpec};
+use mltcp_workload::SweepRunner;
 
 fn main() {
     let scale = scale();
@@ -19,13 +21,12 @@ fn main() {
         "Iteration time vs iteration number for F1..F6 (paper Fig. 3)",
     );
 
-    for f in FigureFunction::ALL {
+    let runs = SweepRunner::new().run(&FigureFunction::ALL, |_, f| {
         let label = f.name().to_string();
-        let increasing = f.is_increasing();
         let mut sc = uniform_scenario(
             seed(),
             gpt2_jobs(scale, iters, 3),
-            CongestionSpec::MltcpReno(FnSpec::Figure(f)),
+            CongestionSpec::MltcpReno(FnSpec::Figure(f.clone())),
         );
         sc.run(deadline);
         assert!(sc.all_finished(), "{label}: jobs did not finish");
@@ -38,6 +39,10 @@ fn main() {
         let avg_ms: Vec<f64> = (0..n)
             .map(|k| per_job.iter().map(|d| d[k]).sum::<f64>() / 3.0 * 1e3)
             .collect();
+        (label, f.is_increasing(), avg_ms)
+    });
+
+    for (label, increasing, avg_ms) in runs {
         let early = avg_ms.iter().take(5).sum::<f64>() / 5.0f64.min(avg_ms.len() as f64);
         let late_n = 10.min(avg_ms.len());
         let late = avg_ms[avg_ms.len() - late_n..].iter().sum::<f64>() / late_n as f64;

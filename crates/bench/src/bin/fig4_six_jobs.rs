@@ -1,12 +1,27 @@
 //! **Figure 4** — six identical GPT-2 jobs on one bottleneck:
 //! (a) TCP-Reno stays congested, (b) MLTCP-Reno interleaves,
 //! (c) the CDF of iteration times shows a tail speedup (paper: 1.59×).
+//!
+//! The Reno and MLTCP runs are independent; they fan out over
+//! [`SweepRunner`] workers, which return plain `Send` payloads (traces +
+//! pooled durations) for main-thread figure assembly.
 
 use mltcp_bench::experiments::{gpt2_jobs, mix_deadline};
 use mltcp_bench::{iters_or, scale, seed, Figure, Series};
 use mltcp_netsim::time::SimDuration;
 use mltcp_workload::scenario::{CongestionSpec, FnSpec};
 use mltcp_workload::stats::{speedup_at, IterationStats};
+use mltcp_workload::SweepRunner;
+
+/// The `Send` payload a worker returns for one six-job run.
+struct SixJobRun {
+    /// Per-job bottleneck bandwidth series, as (time, Gbps) points.
+    flow_series: Vec<Vec<(f64, f64)>>,
+    /// Lifetime iteration durations pooled across all six jobs.
+    pooled: Vec<f64>,
+    /// Pooled durations with each job's first 20 iterations dropped.
+    steady_pool: Vec<f64>,
+}
 
 fn main() {
     let scale = scale();
@@ -18,12 +33,11 @@ fn main() {
     );
     let bin = SimDuration::from_secs_f64(1.8 * scale / 50.0);
 
-    let mut all_durations: Vec<Vec<f64>> = Vec::new();
-    let mut all_steady: Vec<Vec<f64>> = Vec::new();
-    for (label, cc) in [
+    let variants = [
         ("reno", CongestionSpec::Reno),
         ("mltcp-reno", CongestionSpec::MltcpReno(FnSpec::Paper)),
-    ] {
+    ];
+    let runs = SweepRunner::new().run(&variants, |_, (label, cc)| {
         let mut b = mltcp_workload::scenario::ScenarioBuilder::new(seed()).trace(bin);
         for j in gpt2_jobs(scale, iters, 6) {
             b = b.job(j, cc.clone());
@@ -35,11 +49,16 @@ fn main() {
         // (a)/(b): per-flow bandwidth traces on the bottleneck.
         let trace = sc.sim.trace(sc.dumbbell.bottleneck).expect("trace on");
         let t = trace.time_axis_secs();
-        for (i, job) in sc.jobs.iter().enumerate() {
-            let gbps = trace.gbps_series(job.flows[0]);
-            let pts: Vec<(f64, f64)> = t.iter().copied().zip(gbps).collect();
-            fig.push_series(Series::from_xy(format!("{label}: Job{} Gbps", i + 1), pts));
-        }
+        let flow_series: Vec<Vec<(f64, f64)>> = sc
+            .jobs
+            .iter()
+            .map(|job| {
+                t.iter()
+                    .copied()
+                    .zip(trace.gbps_series(job.flows[0]))
+                    .collect()
+            })
+            .collect();
 
         // (c): pooled iteration times across all six jobs (lifetime CDF,
         // as the paper plots it).
@@ -49,32 +68,71 @@ fn main() {
         // Steady-state pool: skip each job's first 20 iterations (the
         // paper's convergence window) for a transient-free comparison.
         let steady_pool: Vec<f64> = (0..6)
-            .flat_map(|i| sc.stats(i).durations().iter().skip(20).copied().collect::<Vec<_>>())
+            .flat_map(|i| {
+                sc.stats(i)
+                    .durations()
+                    .iter()
+                    .skip(20)
+                    .copied()
+                    .collect::<Vec<_>>()
+            })
             .collect();
-        all_steady.push(steady_pool);
-        let stats = IterationStats::from_durations(pooled.clone());
+        SixJobRun {
+            flow_series,
+            pooled,
+            steady_pool,
+        }
+    });
+
+    for ((label, _), run) in variants.iter().zip(&runs) {
+        for (i, pts) in run.flow_series.iter().enumerate() {
+            fig.push_series(Series::from_xy(
+                format!("{label}: Job{} Gbps", i + 1),
+                pts.clone(),
+            ));
+        }
+        let stats = IterationStats::from_durations(run.pooled.clone());
         fig.metric(format!("{label}: mean iter (ms)"), stats.mean() * 1e3);
         fig.metric(format!("{label}: p50 (ms)"), stats.percentile(0.5) * 1e3);
         fig.metric(format!("{label}: p99 (ms)"), stats.percentile(0.99) * 1e3);
-        let cdf = stats.cdf();
         fig.push_series(Series::from_xy(
             format!("{label}: CDF of iteration times (s)"),
-            cdf,
+            stats.cdf(),
         ));
-        all_durations.push(pooled);
     }
 
-    let reno = IterationStats::from_durations(all_durations[0].clone());
-    let mltcp = IterationStats::from_durations(all_durations[1].clone());
-    fig.metric("lifetime tail (p99) speedup reno/mltcp", speedup_at(&reno, &mltcp, 0.99));
-    fig.metric("lifetime p95 speedup reno/mltcp", speedup_at(&reno, &mltcp, 0.95));
-    fig.metric("lifetime median speedup reno/mltcp", speedup_at(&reno, &mltcp, 0.50));
-    fig.metric("lifetime mean speedup reno/mltcp", reno.mean() / mltcp.mean());
-    let reno_ss = IterationStats::from_durations(all_steady[0].clone());
-    let mltcp_ss = IterationStats::from_durations(all_steady[1].clone());
-    fig.metric("steady tail (p99) speedup reno/mltcp", speedup_at(&reno_ss, &mltcp_ss, 0.99));
-    fig.metric("steady p95 speedup reno/mltcp", speedup_at(&reno_ss, &mltcp_ss, 0.95));
-    fig.metric("steady median speedup reno/mltcp", speedup_at(&reno_ss, &mltcp_ss, 0.50));
+    let reno = IterationStats::from_durations(runs[0].pooled.clone());
+    let mltcp = IterationStats::from_durations(runs[1].pooled.clone());
+    fig.metric(
+        "lifetime tail (p99) speedup reno/mltcp",
+        speedup_at(&reno, &mltcp, 0.99),
+    );
+    fig.metric(
+        "lifetime p95 speedup reno/mltcp",
+        speedup_at(&reno, &mltcp, 0.95),
+    );
+    fig.metric(
+        "lifetime median speedup reno/mltcp",
+        speedup_at(&reno, &mltcp, 0.50),
+    );
+    fig.metric(
+        "lifetime mean speedup reno/mltcp",
+        reno.mean() / mltcp.mean(),
+    );
+    let reno_ss = IterationStats::from_durations(runs[0].steady_pool.clone());
+    let mltcp_ss = IterationStats::from_durations(runs[1].steady_pool.clone());
+    fig.metric(
+        "steady tail (p99) speedup reno/mltcp",
+        speedup_at(&reno_ss, &mltcp_ss, 0.99),
+    );
+    fig.metric(
+        "steady p95 speedup reno/mltcp",
+        speedup_at(&reno_ss, &mltcp_ss, 0.95),
+    );
+    fig.metric(
+        "steady median speedup reno/mltcp",
+        speedup_at(&reno_ss, &mltcp_ss, 0.50),
+    );
     fig.note("paper Fig. 4(c): tail iteration-time speedup of 1.59x for MLTCP over Reno");
     fig.finish();
 }

@@ -4,12 +4,15 @@
 //! identical jobs with `a = 1/2`, which is maximal at Δ = 0 (full
 //! overlap), minimal at Δ = T/2 (full interleaving), and symmetric.
 //! Also emits the shift curve itself (Eq. 3) and cross-checks the closed
-//! form against numeric quadrature.
+//! form against numeric quadrature. The 361 grid points are independent
+//! (the quadrature cross-check dominates the cost), so the grid fans out
+//! over [`SweepRunner`] workers.
 
 use mltcp_bench::{Figure, Series};
 use mltcp_core::loss::{loss_by_quadrature, LossFunction};
 use mltcp_core::params::MltcpParams;
 use mltcp_core::shift::ShiftFunction;
+use mltcp_workload::SweepRunner;
 
 fn main() {
     // Paper geometry: GPT-2-like period, a = 1/2 as in Fig. 5(c).
@@ -23,18 +26,26 @@ fn main() {
     );
 
     let n = 361;
-    let mut shift_pts = Vec::with_capacity(n);
-    let mut loss_pts = Vec::with_capacity(n);
-    let mut max_closed_vs_numeric = 0.0f64;
-    for i in 0..n {
+    let idxs: Vec<usize> = (0..n).collect();
+    let grid = SweepRunner::new().run(&idxs, |_, &i| {
         let d = period * i as f64 / (n - 1) as f64;
-        shift_pts.push((d, shift.eval_periodic(d)));
-        loss_pts.push((d, loss.eval_periodic(d)));
-        if d <= shift.comm_duration() {
+        let closed_vs_numeric = if d <= shift.comm_duration() {
             let numeric = loss_by_quadrature(|x| shift.eval(x), d, 2000);
-            max_closed_vs_numeric = max_closed_vs_numeric.max((loss.eval(d) - numeric).abs());
-        }
-    }
+            (loss.eval(d) - numeric).abs()
+        } else {
+            0.0
+        };
+        (
+            d,
+            shift.eval_periodic(d),
+            loss.eval_periodic(d),
+            closed_vs_numeric,
+        )
+    });
+
+    let shift_pts: Vec<(f64, f64)> = grid.iter().map(|&(d, s, _, _)| (d, s)).collect();
+    let loss_pts: Vec<(f64, f64)> = grid.iter().map(|&(d, _, l, _)| (d, l)).collect();
+    let max_closed_vs_numeric = grid.iter().map(|&(_, _, _, e)| e).fold(0.0f64, f64::max);
     fig.push_series(Series::from_xy("Shift(Δ), periodic", shift_pts.clone()));
     fig.push_series(Series::from_xy("Loss(Δ), periodic", loss_pts.clone()));
 
@@ -57,7 +68,10 @@ fn main() {
     fig.metric("basin depth", loss.basin_depth());
     fig.metric("max |closed-form - quadrature|", max_closed_vs_numeric);
     fig.metric("max per-iteration shift", shift.max_shift());
-    assert!((argmin - period / 2.0).abs() < period / (n as f64), "minimum must sit at T/2");
+    assert!(
+        (argmin - period / 2.0).abs() < period / (n as f64),
+        "minimum must sit at T/2"
+    );
     assert!(at_half < at_zero && (at_half - min_loss).abs() < 1e-9);
 
     fig.note("closed form: Loss(x) = x²/2 − (b+k)x + k(b+k)·ln(1 + x/k), b = aT, k = b·I/S");

@@ -6,12 +6,27 @@
 //! interleaved. We regenerate the bandwidth traces and track the circular
 //! start-time difference Δᵢ between the jobs' comm phases — the quantity
 //! the §4 gradient-descent analysis evolves.
+//!
+//! A single scenario can't parallelize, but the run still goes through
+//! [`SweepRunner`] (which executes singleton sweeps inline) so every
+//! figure binary shares the same worker-closure shape: simulate in the
+//! worker, return plain `Send` data, assemble the figure on the main
+//! thread.
 
-use mltcp_bench::experiments::{gpt2_jobs, mix_deadline};
+use mltcp_bench::experiments::{bottleneck, gpt2_jobs, mix_deadline};
 use mltcp_bench::{iters_or, scale, seed, Figure, Series};
 use mltcp_core::gradient::circular_distance;
 use mltcp_netsim::time::SimDuration;
 use mltcp_workload::scenario::{CongestionSpec, FnSpec, ScenarioBuilder};
+use mltcp_workload::SweepRunner;
+
+/// The `Send` payload extracted from the single sliding-jobs run.
+struct SlidingRun {
+    flow_series: Vec<Vec<(f64, f64)>>,
+    deltas: Vec<f64>,
+    comm: f64,
+    steady: [f64; 2],
+}
 
 fn main() {
     let scale = scale();
@@ -23,53 +38,71 @@ fn main() {
     );
     let bin = SimDuration::from_secs_f64(1.8 * scale / 50.0);
 
-    let mut b = ScenarioBuilder::new(seed()).trace(bin);
-    for j in gpt2_jobs(scale, iters, 2) {
-        b = b.job(j, CongestionSpec::MltcpReno(FnSpec::Paper));
-    }
-    let mut sc = b.build();
-    sc.run(deadline);
-    assert!(sc.all_finished(), "jobs did not finish");
+    let run = SweepRunner::new()
+        .run(&[()], |_, _| {
+            let mut b = ScenarioBuilder::new(seed()).trace(bin);
+            for j in gpt2_jobs(scale, iters, 2) {
+                b = b.job(j, CongestionSpec::MltcpReno(FnSpec::Paper));
+            }
+            let mut sc = b.build();
+            sc.run(deadline);
+            assert!(sc.all_finished(), "jobs did not finish");
+
+            let trace = sc.sim.trace(sc.dumbbell.bottleneck).expect("trace on");
+            let t = trace.time_axis_secs();
+            let flow_series: Vec<Vec<(f64, f64)>> = sc
+                .jobs
+                .iter()
+                .map(|job| {
+                    t.iter()
+                        .copied()
+                        .zip(trace.gbps_series(job.flows[0]))
+                        .collect()
+                })
+                .collect();
+
+            // Δᵢ: circular difference of comm-phase starts, per iteration.
+            let s0 = sc.comm_starts_secs(0);
+            let s1 = sc.comm_starts_secs(1);
+            let period = sc.ideal_period(0).as_secs_f64();
+            let n = s0.len().min(s1.len());
+            let deltas: Vec<f64> = (0..n)
+                .map(|k| circular_distance(s0[k], s1[k], period))
+                .collect();
+            let comm = period * sc.jobs[0].spec.comm_fraction(bottleneck());
+            SlidingRun {
+                flow_series,
+                deltas,
+                comm,
+                steady: [
+                    sc.stats(0).tail_mean(5) / period,
+                    sc.stats(1).tail_mean(5) / period,
+                ],
+            }
+        })
+        .pop()
+        .expect("one run");
 
     // Bandwidth overlay.
-    let trace = sc.sim.trace(sc.dumbbell.bottleneck).expect("trace on");
-    let t = trace.time_axis_secs();
-    for (i, job) in sc.jobs.iter().enumerate() {
-        let pts: Vec<(f64, f64)> = t
-            .iter()
-            .copied()
-            .zip(trace.gbps_series(job.flows[0]))
-            .collect();
+    for (i, pts) in run.flow_series.into_iter().enumerate() {
         fig.push_series(Series::from_xy(format!("Job{} Gbps", i + 1), pts));
     }
-
-    // Δᵢ: circular difference of comm-phase starts, per iteration.
-    let s0 = sc.comm_starts_secs(0);
-    let s1 = sc.comm_starts_secs(1);
-    let period = sc.ideal_period(0).as_secs_f64();
-    let n = s0.len().min(s1.len());
-    let deltas: Vec<f64> = (0..n)
-        .map(|k| circular_distance(s0[k], s1[k], period))
-        .collect();
+    let deltas = run.deltas;
     fig.push_series(Series::from_y("Δᵢ (s, circular)", deltas.clone()));
 
-    let comm = period * sc.jobs[0].spec.comm_fraction(mltcp_bench::experiments::bottleneck());
     let early = deltas.iter().take(3).sum::<f64>() / 3.0;
     let late_n = 10.min(deltas.len());
     let late = deltas[deltas.len() - late_n..].iter().sum::<f64>() / late_n as f64;
-    fig.metric("comm duration aT (s)", comm);
+    fig.metric("comm duration aT (s)", run.comm);
     fig.metric("early mean Δ (s)", early);
     fig.metric("late mean Δ (s)", late);
     // Interleaved = comm phases separated by at least one comm duration.
-    let first_separated = deltas.iter().position(|&d| d >= comm);
+    let first_separated = deltas.iter().position(|&d| d >= run.comm);
     if let Some(k) = first_separated {
         fig.metric("first iteration with Δ >= aT", k as f64);
     }
-    let i0 = sc.stats(0);
-    let i1 = sc.stats(1);
-    let ideal = period;
-    fig.metric("job1 steady (x ideal)", i0.tail_mean(5) / ideal);
-    fig.metric("job2 steady (x ideal)", i1.tail_mean(5) / ideal);
+    fig.metric("job1 steady (x ideal)", run.steady[0]);
+    fig.metric("job2 steady (x ideal)", run.steady[1]);
 
     fig.note(
         "paper shape: jobs start synchronized (network congestion), the \

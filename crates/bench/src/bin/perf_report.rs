@@ -1,0 +1,168 @@
+//! **Performance report** — the tracked events/sec baseline.
+//!
+//! Measures the simulator's hot-path throughput (events processed per
+//! wall-clock second) on a canonical contended workload, and the sweep
+//! harness's parallel speedup (the same multi-seed sweep run inline and
+//! on all cores), then writes `BENCH_PR1.json` at the repository root.
+//! That file is the committed baseline: future performance PRs re-run
+//! this binary (release profile, quiet machine) and compare. See
+//! DESIGN.md § Performance for how to read and update it.
+//!
+//! ```text
+//! cargo run --release -p mltcp-bench --bin perf_report
+//! ```
+//!
+//! Knobs: `MLTCP_SCALE` / `MLTCP_ITERS` / `MLTCP_SEED` as in every other
+//! figure binary, so the measured workload is reproducible.
+
+use mltcp_bench::experiments::{gpt2_jobs, mix_deadline, uniform_scenario};
+use mltcp_bench::json::Json;
+use mltcp_bench::{iters_or, scale, seed};
+use mltcp_workload::scenario::{CongestionSpec, FnSpec};
+use mltcp_workload::SweepRunner;
+use std::io::Write;
+use std::num::NonZeroUsize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Runs the canonical single-simulator workload (6 GPT-2 jobs sharing
+/// the dumbbell under MLTCP-Reno) and returns (events, wall seconds).
+fn single_run(scale: f64, iters: u32, sd: u64) -> (u64, f64) {
+    let mut sc = uniform_scenario(
+        sd,
+        gpt2_jobs(scale, iters, 6),
+        CongestionSpec::MltcpReno(FnSpec::Paper),
+    );
+    let t0 = Instant::now();
+    sc.run(mix_deadline(scale, iters));
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(sc.all_finished(), "perf workload did not finish");
+    (sc.sim.stats().events, wall)
+}
+
+/// Runs the multi-seed sweep on `threads` workers and returns
+/// (total events, wall seconds).
+fn sweep_run(scale: f64, iters: u32, seeds: &[u64], threads: usize) -> (u64, f64) {
+    let t0 = Instant::now();
+    let events = SweepRunner::with_threads(threads).run(seeds, |_, &sd| {
+        let mut sc = uniform_scenario(
+            sd,
+            gpt2_jobs(scale, iters, 6),
+            CongestionSpec::MltcpReno(FnSpec::Paper),
+        );
+        sc.run(mix_deadline(scale, iters));
+        assert!(
+            sc.all_finished(),
+            "seed {sd}: sweep workload did not finish"
+        );
+        sc.sim.stats().events
+    });
+    (events.iter().sum(), t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let scale = scale();
+    let iters = iters_or(30);
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+
+    // Warm up (page in code + allocator), then measure the single run.
+    let _ = single_run(scale, iters.min(5), seed());
+    let (events, wall) = single_run(scale, iters, seed());
+    let single_eps = events as f64 / wall.max(1e-9);
+    println!(
+        "single simulator : {events} events in {wall:.3}s  ->  {:.3} M events/sec",
+        single_eps / 1e6
+    );
+
+    // The sweep: one job per seed, inline vs all cores.
+    let seeds: Vec<u64> = (0..8).map(|i| seed() + 7 * i).collect();
+    let (seq_events, seq_wall) = sweep_run(scale, iters, &seeds, 1);
+    let workers = SweepRunner::new().threads();
+    let (par_events, par_wall) = sweep_run(scale, iters, &seeds, workers);
+    assert_eq!(
+        seq_events, par_events,
+        "parallel sweep processed a different event count — determinism broken"
+    );
+    let speedup = seq_wall / par_wall.max(1e-9);
+    println!(
+        "sweep ({} jobs)   : sequential {seq_wall:.3}s, parallel {par_wall:.3}s on {workers} workers  ->  {speedup:.2}x",
+        seeds.len()
+    );
+
+    let report = Json::obj([
+        ("bench", Json::str("BENCH_PR1")),
+        (
+            "command",
+            Json::str("cargo run --release -p mltcp-bench --bin perf_report"),
+        ),
+        ("cores", Json::Num(cores as f64)),
+        ("scale", Json::Num(scale)),
+        ("iters", Json::Num(f64::from(iters))),
+        ("seed", Json::Num(seed() as f64)),
+        (
+            "single_thread",
+            Json::obj([
+                (
+                    "scenario",
+                    Json::str("6 GPT-2 jobs, MLTCP-Reno, shared dumbbell"),
+                ),
+                ("events", Json::Num(events as f64)),
+                ("wall_secs", Json::Num(wall)),
+                ("events_per_sec", Json::Num(single_eps)),
+            ]),
+        ),
+        (
+            "sweep",
+            Json::obj([
+                ("jobs", Json::Num(seeds.len() as f64)),
+                ("workers", Json::Num(workers as f64)),
+                ("total_events", Json::Num(seq_events as f64)),
+                ("sequential_secs", Json::Num(seq_wall)),
+                ("parallel_secs", Json::Num(par_wall)),
+                ("speedup", Json::Num(speedup)),
+                (
+                    "events_per_sec_sequential",
+                    Json::Num(seq_events as f64 / seq_wall.max(1e-9)),
+                ),
+                (
+                    "events_per_sec_parallel",
+                    Json::Num(par_events as f64 / par_wall.max(1e-9)),
+                ),
+            ]),
+        ),
+        (
+            "notes",
+            Json::Arr(vec![
+                Json::str(
+                    "events/sec covers the full stack: event queue, link \
+                     serialization, queue disciplines, TCP state machines, \
+                     MLTCP trackers, and job drivers",
+                ),
+                Json::str(
+                    "the sweep speedup is bounded by the machine's core \
+                     count; on a single-core runner sequential and parallel \
+                     are the same code path",
+                ),
+            ]),
+        ),
+    ]);
+
+    let path = bench_path();
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let _ = f.write_all(report.to_string_pretty().as_bytes());
+            println!("[written {}]", path.display());
+        }
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// `BENCH_PR1.json` at the workspace root when run via cargo, else the
+/// current directory.
+fn bench_path() -> PathBuf {
+    std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../../BENCH_PR1.json"))
+        .unwrap_or_else(|_| PathBuf::from("BENCH_PR1.json"))
+}

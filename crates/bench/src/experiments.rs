@@ -10,6 +10,7 @@ use mltcp_sched::pfabric::apply_pfabric;
 use mltcp_workload::job::JobSpec;
 use mltcp_workload::models;
 use mltcp_workload::scenario::{CongestionSpec, Scenario, ScenarioBuilder};
+use mltcp_workload::stats::JobReport;
 
 /// The pacing factor used by the enforced-Cassini runs: planned periods
 /// are `1.16 ×` the analytic ideal, covering the transport's measured
@@ -107,4 +108,57 @@ pub fn mean_steady_ratio(sc: &Scenario) -> f64 {
 /// The bandwidth at which jobs in this repository are modelled.
 pub fn bottleneck() -> Bandwidth {
     models::paper_bottleneck()
+}
+
+/// Everything a figure binary needs from a finished scenario, as plain
+/// `Send` data.
+///
+/// `Scenario` holds `Box<dyn Agent>` and deliberately never leaves the
+/// sweep worker that built it (see `mltcp_workload::sweep`); workers
+/// return this summary instead and the main thread assembles figures
+/// from it in input order.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Per-job report rows, in job order.
+    pub jobs: Vec<JobReport>,
+    /// Per-job analytic ideal period (seconds), aligned with `jobs`.
+    pub ideals: Vec<f64>,
+    /// Per-job full iteration-duration series (seconds).
+    pub durations: Vec<Vec<f64>>,
+    /// Mean steady-state iteration ratio across jobs.
+    pub mean_steady_ratio: f64,
+}
+
+/// Extracts a [`RunSummary`] from a finished scenario.
+pub fn summarize_run(sc: &Scenario) -> RunSummary {
+    let n = sc.jobs.len();
+    RunSummary {
+        jobs: sc.reports(),
+        ideals: (0..n).map(|i| sc.ideal_period(i).as_secs_f64()).collect(),
+        durations: (0..n).map(|i| sc.stats(i).durations().to_vec()).collect(),
+        mean_steady_ratio: mean_steady_ratio(sc),
+    }
+}
+
+/// Prints the compact per-job table for a summarized run, normalized by
+/// each job's analytic ideal period.
+pub fn print_summary_table(label: &str, rs: &RunSummary) {
+    println!("-- {label}");
+    println!(
+        "   {:<16} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "job", "ideal(ms)", "mean(x)", "steady(x)", "p99(x)", "conv"
+    );
+    for (r, &ideal) in rs.jobs.iter().zip(&rs.ideals) {
+        println!(
+            "   {:<16} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>8}",
+            r.name,
+            ideal * 1e3,
+            r.mean_secs / ideal,
+            r.steady_secs / ideal,
+            r.p99_secs / ideal,
+            r.converged_after
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
 }

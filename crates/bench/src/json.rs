@@ -1,0 +1,173 @@
+//! Minimal JSON emission for experiment artifacts.
+//!
+//! The offline build replaces `serde_json` with this hand-rolled emitter:
+//! a [`Json`] value tree plus a deterministic pretty printer (2-space
+//! indent, object keys in insertion order). Determinism matters — the
+//! sweep-harness tests compare sequential and parallel runs by comparing
+//! these serialized bytes.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number; non-finite values serialize as `null` (as serde_json
+    /// does for f64).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with keys in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An array of numbers.
+    pub fn nums(values: impl IntoIterator<Item = f64>) -> Json {
+        Json::Arr(values.into_iter().map(Json::Num).collect())
+    }
+
+    /// An object from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Serializes with 2-space indentation and a trailing newline-free
+    /// body (matching `serde_json::to_string_pretty`).
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(v) => write_num(out, *v),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_num(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // Integral values keep a ".0" suffix so a reader can't misparse the
+    // column as integer-typed; Rust's shortest-roundtrip float formatting
+    // covers the rest.
+    if v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{:.1}", v);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_rendering() {
+        assert_eq!(Json::Null.to_string_pretty(), "null");
+        assert_eq!(Json::Bool(true).to_string_pretty(), "true");
+        assert_eq!(Json::Num(1.0).to_string_pretty(), "1.0");
+        assert_eq!(Json::Num(1.5).to_string_pretty(), "1.5");
+        assert_eq!(Json::Num(f64::NAN).to_string_pretty(), "null");
+        assert_eq!(Json::str("a\"b\n").to_string_pretty(), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn nested_pretty_layout() {
+        let v = Json::obj([
+            ("name", Json::str("fig")),
+            ("xs", Json::nums([0.0, 0.5])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let expect =
+            "{\n  \"name\": \"fig\",\n  \"xs\": [\n    0.0,\n    0.5\n  ],\n  \"empty\": []\n}";
+        assert_eq!(v.to_string_pretty(), expect);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let build = || Json::obj([("a", Json::Num(0.1)), ("b", Json::str("x"))]).to_string_pretty();
+        assert_eq!(build(), build());
+    }
+}

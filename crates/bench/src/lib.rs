@@ -24,10 +24,11 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 
+use json::Json;
 use mltcp_netsim::time::{SimDuration, SimTime};
 use mltcp_workload::scenario::Scenario;
-use serde::Serialize;
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -69,7 +70,7 @@ pub fn default_noise(compute: SimDuration) -> SimDuration {
 }
 
 /// One labelled data series (a line in a figure).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label.
     pub label: String,
@@ -102,7 +103,7 @@ impl Series {
 
 /// A figure artifact: a set of series plus free-form notes, serialized to
 /// `results/<name>.json` and summarized to stdout.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// File stem / figure id (e.g. "fig3_aggressiveness").
     pub name: String,
@@ -143,13 +144,49 @@ impl Figure {
         self.notes.push(n.into());
     }
 
+    /// The figure as a JSON value tree.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            ("title", Json::str(&self.title)),
+            (
+                "series",
+                Json::Arr(
+                    self.series
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("label", Json::str(&s.label)),
+                                ("x", Json::nums(s.x.iter().copied())),
+                                ("y", Json::nums(s.y.iter().copied())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "summary",
+                Json::Obj(
+                    self.summary
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "notes",
+                Json::Arr(self.notes.iter().map(Json::str).collect()),
+            ),
+        ])
+    }
+
     /// Writes `results/<name>.json` and prints the summary table.
     pub fn finish(&self) {
         let dir = results_dir();
         let path = dir.join(format!("{}.json", self.name));
         match std::fs::File::create(&path) {
             Ok(mut f) => {
-                let json = serde_json::to_string_pretty(self).expect("serializable");
+                let json = self.to_json().to_string_pretty();
                 let _ = f.write_all(json.as_bytes());
                 println!("[written {}]", path.display());
             }
@@ -178,25 +215,7 @@ pub fn results_dir() -> PathBuf {
 /// Prints a compact per-job report table for a finished scenario,
 /// normalized by each job's analytic ideal period.
 pub fn print_job_table(label: &str, sc: &Scenario) {
-    println!("-- {label}");
-    println!(
-        "   {:<16} {:>10} {:>10} {:>10} {:>10} {:>8}",
-        "job", "ideal(ms)", "mean(x)", "steady(x)", "p99(x)", "conv"
-    );
-    for (i, r) in sc.reports().iter().enumerate() {
-        let ideal = sc.ideal_period(i).as_secs_f64();
-        println!(
-            "   {:<16} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>8}",
-            r.name,
-            ideal * 1e3,
-            r.mean_secs / ideal,
-            r.steady_secs / ideal,
-            r.p99_secs / ideal,
-            r.converged_after
-                .map(|c| c.to_string())
-                .unwrap_or_else(|| "-".into()),
-        );
-    }
+    experiments::print_summary_table(label, &experiments::summarize_run(sc));
 }
 
 #[cfg(test)]

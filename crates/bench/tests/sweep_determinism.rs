@@ -1,0 +1,79 @@
+//! Pins the `SweepRunner` guarantee the figure binaries rely on: a
+//! parallel sweep's serialized output is **byte-identical** to the
+//! sequential run's.
+//!
+//! A 2-job dumbbell scenario (the Fig. 6 workload shrunk to test scale)
+//! is swept across 8 seeds three times — inline (1 thread), with 4
+//! workers, and with 8 workers — and each sweep's results are serialized
+//! to JSON. Workers derive all randomness from their config (the seed),
+//! so completion order must be the only nondeterminism, and the
+//! input-order collection erases it.
+
+use mltcp_bench::experiments::{gpt2_jobs, mean_steady_ratio, mix_deadline, uniform_scenario};
+use mltcp_bench::json::Json;
+use mltcp_workload::scenario::{CongestionSpec, FnSpec};
+use mltcp_workload::SweepRunner;
+
+const SCALE: f64 = 0.002;
+const ITERS: u32 = 6;
+
+/// Runs the 8-seed sweep on `threads` workers and serializes every
+/// result (per-seed mean ratio + full per-job iteration series) to the
+/// exact JSON the figure harness would write.
+fn sweep_json(threads: usize) -> String {
+    let seeds: Vec<u64> = (0..8).map(|i| 42 + 7 * i).collect();
+    let results = SweepRunner::with_threads(threads).run(&seeds, |_, &sd| {
+        let mut sc = uniform_scenario(
+            sd,
+            gpt2_jobs(SCALE, ITERS, 2),
+            CongestionSpec::MltcpReno(FnSpec::Paper),
+        );
+        sc.run(mix_deadline(SCALE, ITERS));
+        assert!(sc.all_finished(), "seed {sd}: jobs did not finish");
+        let per_job: Vec<Vec<f64>> = (0..sc.jobs.len())
+            .map(|i| sc.stats(i).durations().to_vec())
+            .collect();
+        (sd, mean_steady_ratio(&sc), per_job)
+    });
+
+    Json::Arr(
+        results
+            .iter()
+            .map(|(sd, ratio, per_job)| {
+                Json::obj([
+                    ("seed", Json::Num(*sd as f64)),
+                    ("mean_steady_ratio", Json::Num(*ratio)),
+                    (
+                        "iteration_secs",
+                        Json::Arr(
+                            per_job
+                                .iter()
+                                .map(|d| Json::nums(d.iter().copied()))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+    .to_string_pretty()
+}
+
+#[test]
+fn parallel_sweep_output_is_byte_identical_to_sequential() {
+    let sequential = sweep_json(1);
+    // Sanity: the sweep produced real simulation data, not empty shells.
+    assert!(sequential.contains("mean_steady_ratio"));
+    assert!(sequential.len() > 1000, "suspiciously small sweep output");
+
+    let par4 = sweep_json(4);
+    assert_eq!(
+        sequential, par4,
+        "4-worker sweep output diverged from sequential"
+    );
+    let par8 = sweep_json(8);
+    assert_eq!(
+        sequential, par8,
+        "8-worker sweep output diverged from sequential"
+    );
+}

@@ -44,7 +44,7 @@ pub struct SteadyStateStats {
 /// A noisy version of the two-job iteration map:
 /// `Δ_{i+1} = Δ_i + Shift(Δ_i) + ε_i`, with `ε_i` supplied by the caller
 /// (keeping this crate free of RNG dependencies; tests and benches feed
-/// Gaussian samples from `rand_distr`).
+/// Gaussian samples from their own seeded generators).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NoisyDescent {
     shift: ShiftFunction,
@@ -167,17 +167,30 @@ pub fn deviation_stats(trajectory: &[f64], reference: f64, period: f64) -> Stead
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     fn shift_a_half() -> ShiftFunction {
         ShiftFunction::new(MltcpParams::PAPER, 1.8, 0.5).unwrap()
     }
 
-    /// Box–Muller Gaussian from a uniform RNG (keeps dev-deps to `rand`).
-    fn gaussian(rng: &mut StdRng, sigma: f64) -> f64 {
-        let u1: f64 = rng.gen_range(1e-12..1.0);
-        let u2: f64 = rng.gen_range(0.0..1.0);
+    /// Minimal seeded uniform source (splitmix64), keeping this crate
+    /// free of RNG dependencies even in tests.
+    struct TestRng(u64);
+
+    impl TestRng {
+        fn unit(&mut self) -> f64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Box–Muller Gaussian from the uniform source above.
+    fn gaussian(rng: &mut TestRng, sigma: f64) -> f64 {
+        let u1: f64 = rng.unit().max(1e-12);
+        let u2: f64 = rng.unit();
         sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     }
 
@@ -200,7 +213,7 @@ mod tests {
         // From exact overlap (unstable fixed point), any noise kicks the
         // system into the basin and it still converges near the optimum.
         let nd = NoisyDescent::new(shift_a_half());
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = TestRng(7);
         let stats = nd.steady_state(0.0, 0.9, 2000, 2000, || gaussian(&mut rng, 0.005));
         assert!(
             stats.mean.abs() < 0.1,
@@ -213,7 +226,7 @@ mod tests {
     fn steady_state_error_is_linearly_bounded() {
         let nd = NoisyDescent::new(shift_a_half());
         for (seed, sigma) in [(1u64, 0.002), (2, 0.005), (3, 0.01)] {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = TestRng(seed);
             let stats = nd.steady_state(0.3, 0.9, 3000, 5000, || gaussian(&mut rng, sigma));
             assert!(
                 within_linear_bound(&stats, MltcpParams::PAPER, sigma, 1.5),
@@ -229,7 +242,7 @@ mod tests {
         let nd = NoisyDescent::new(shift_a_half());
         let mut spread = vec![];
         for (seed, sigma) in [(11u64, 0.001), (12, 0.004), (13, 0.016)] {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = TestRng(seed);
             let stats = nd.steady_state(0.3, 0.9, 3000, 5000, || gaussian(&mut rng, sigma));
             spread.push(stats.stddev);
         }

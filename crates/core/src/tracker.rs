@@ -311,11 +311,7 @@ mod tests {
     fn multiburst_gate_suppresses_mid_iteration_resets() {
         // 2-burst iteration: gaps between sub-bursts must NOT reset until
         // the iteration's bytes are through.
-        let mut t = IterationTracker::new(TrackerConfig::oracle_multiburst(
-            10_000,
-            50 * MS,
-            0.9,
-        ));
+        let mut t = IterationTracker::new(TrackerConfig::oracle_multiburst(10_000, 50 * MS, 0.9));
         t.on_ack(0, 5_000); // burst 1
         assert_eq!(t.bytes_ratio(), 0.5);
         // 100 ms silence, but only half the bytes sent: no reset.
@@ -337,7 +333,12 @@ mod tests {
             min_bytes_for_reset: 0,
             ..TrackerConfig::oracle(10_000, 50 * MS)
         });
-        let acks = [(0u64, 2000u64), (60 * MS, 3000), (61 * MS, 1000), (200 * MS, 500)];
+        let acks = [
+            (0u64, 2000u64),
+            (60 * MS, 3000),
+            (61 * MS, 1000),
+            (200 * MS, 500),
+        ];
         for (ts, by) in acks {
             assert_eq!(a.on_ack(ts, by), b.on_ack(ts, by));
         }

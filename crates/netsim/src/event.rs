@@ -3,6 +3,21 @@
 //! A binary min-heap ordered by `(time, sequence)`: events scheduled for
 //! the same instant fire in insertion order, which makes the whole
 //! simulation reproducible bit-for-bit regardless of heap internals.
+//!
+//! ## Event size
+//!
+//! Every sift during a heap push/pop moves whole [`Event`]s, so the event
+//! loop's memory traffic is proportional to `size_of::<Event>()`. Two
+//! representation choices keep that small (40 bytes rather than ~104):
+//!
+//! * [`EventKind::Deliver`] boxes its packet; the simulator recycles the
+//!   boxes through a free list, so steady-state delivery costs no
+//!   allocation (see `SimCore` in [`crate::sim`]).
+//! * Agent indices are stored as `u32` (4 billion agents is far beyond
+//!   any topology this simulator targets; the public
+//!   [`AgentId`](crate::sim::AgentId) stays `usize`).
+//!
+//! The `event_size_stays_small` test pins this bound.
 
 use crate::link::LinkId;
 use crate::node::NodeId;
@@ -18,8 +33,9 @@ pub enum EventKind {
     Deliver {
         /// Receiving node.
         node: NodeId,
-        /// The packet.
-        pkt: Packet,
+        /// The packet (boxed to keep [`Event`] small; the simulator pools
+        /// and reuses the allocations).
+        pkt: Box<Packet>,
     },
     /// A directed channel finishes serializing its current packet and may
     /// start the next one.
@@ -31,7 +47,7 @@ pub enum EventKind {
     /// `token` an opaque value the agent chose.
     Timer {
         /// Owning agent (index into the simulator's agent table).
-        agent: usize,
+        agent: u32,
         /// Opaque discriminator chosen by the agent.
         token: u64,
     },
@@ -39,9 +55,9 @@ pub enum EventKind {
     /// transport endpoint, or an endpoint reporting completion).
     Message {
         /// Receiving agent index.
-        to: usize,
+        to: u32,
         /// Sending agent index.
-        from: usize,
+        from: u32,
         /// Opaque payload.
         token: u64,
     },
@@ -99,6 +115,16 @@ impl EventQueue {
         self.heap.pop()
     }
 
+    /// Removes and returns the earliest event if it fires at or before
+    /// `deadline`; later events stay queued. One heap access instead of
+    /// the peek-then-pop pair a caller would otherwise need.
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<Event> {
+        if self.heap.peek()?.at > deadline {
+            return None;
+        }
+        self.heap.pop()
+    }
+
     /// Timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.at)
@@ -119,8 +145,38 @@ impl EventQueue {
 mod tests {
     use super::*;
 
-    fn timer(agent: usize, token: u64) -> EventKind {
+    fn timer(agent: u32, token: u64) -> EventKind {
         EventKind::Timer { agent, token }
+    }
+
+    #[test]
+    fn event_size_stays_small() {
+        // Heap sifts copy whole events; a fat event (e.g. an inline
+        // ~56-byte packet) multiplies the event loop's memory traffic.
+        assert!(
+            std::mem::size_of::<Event>() <= 40,
+            "Event grew to {} bytes",
+            std::mem::size_of::<Event>()
+        );
+    }
+
+    #[test]
+    fn pop_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), timer(0, 1));
+        q.schedule(SimTime(20), timer(0, 2));
+        q.schedule(SimTime(20), timer(0, 3));
+        q.schedule(SimTime(30), timer(0, 4));
+        assert!(q.pop_before(SimTime(5)).is_none());
+        assert_eq!(q.pop_before(SimTime(20)).unwrap().at, SimTime(10));
+        // Deadline is inclusive, ties still pop in insertion order.
+        let e2 = q.pop_before(SimTime(20)).unwrap();
+        let e3 = q.pop_before(SimTime(20)).unwrap();
+        assert!(e2.seq < e3.seq);
+        assert!(q.pop_before(SimTime(20)).is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_before(SimTime::MAX).unwrap().at, SimTime(30));
+        assert!(q.pop_before(SimTime::MAX).is_none());
     }
 
     #[test]

@@ -153,10 +153,7 @@ mod tests {
     #[test]
     fn tx_time_exact_cases() {
         // 1500 B at 1 Gbps = 12 µs.
-        assert_eq!(
-            Bandwidth::gbps(1).tx_time(1500),
-            SimDuration::micros(12)
-        );
+        assert_eq!(Bandwidth::gbps(1).tx_time(1500), SimDuration::micros(12));
         // 1540 B at 50 Gbps = 246.4 ns → rounds up to 247.
         assert_eq!(Bandwidth::gbps(50).tx_time(1540), SimDuration::nanos(247));
         // Zero bytes serialize instantly.
@@ -184,6 +181,11 @@ mod tests {
         assert_eq!(s.loss_probability, 0.01);
         assert!(matches!(s.queue, QueueKind::StrictPriority { .. }));
         // Loss clamps to [0,1].
-        assert_eq!(LinkSpec::new(Bandwidth::gbps(1), SimDuration::ZERO).with_loss(7.0).loss_probability, 1.0);
+        assert_eq!(
+            LinkSpec::new(Bandwidth::gbps(1), SimDuration::ZERO)
+                .with_loss(7.0)
+                .loss_probability,
+            1.0
+        );
     }
 }

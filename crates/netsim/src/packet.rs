@@ -67,7 +67,11 @@ pub enum SegmentHeader {
 }
 
 /// A simulated packet.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// All fields are plain values, so the packet is `Copy`: the hot path
+/// moves packets out of their pooled boxes (see [`crate::event`]) with a
+/// memcpy instead of a clone call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Packet {
     /// The flow this packet belongs to. Acks use the *data* flow's id so
     /// both directions share accounting.

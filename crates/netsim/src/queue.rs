@@ -59,9 +59,7 @@ impl QueueKind {
     /// Drop-tail with a default 500 kB buffer (≈ one bandwidth-delay
     /// product of the paper's 50 Gbps / 80 µs bottleneck).
     pub fn default_drop_tail() -> Self {
-        QueueKind::DropTail {
-            cap_bytes: 500_000,
-        }
+        QueueKind::DropTail { cap_bytes: 500_000 }
     }
 
     /// Instantiates the discipline.

@@ -1,26 +1,63 @@
 //! Deterministic randomness for the simulator.
 //!
 //! All stochastic behaviour — Bernoulli link loss, Gaussian compute-time
-//! jitter, start-time jitter — draws from one seeded ChaCha-based
-//! generator, so a `(topology, workload, seed)` triple fully determines a
-//! run. Experiments vary the seed explicitly to get independent trials.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rand_distr::{Distribution, Normal};
+//! jitter, start-time jitter — draws from one seeded generator, so a
+//! `(topology, workload, seed)` triple fully determines a run.
+//! Experiments vary the seed explicitly to get independent trials.
+//!
+//! The generator is self-contained (xoshiro256++ state seeded through
+//! splitmix64, Box–Muller for Gaussians) so the simulator has no external
+//! randomness dependency and the byte-for-byte determinism contract
+//! doesn't hinge on a third-party crate's version.
 
 /// The simulator's random source.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
+    /// Spare Box–Muller sample; `gaussian` produces two per transform.
+    spare: Option<f64>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
         Self {
-            inner: StdRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+            spare: None,
         }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A Bernoulli trial with probability `p` (clamped to `[0, 1]`).
@@ -30,14 +67,14 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen_bool(p)
+            self.unit() < p
         }
     }
 
     /// Uniform in `[lo, hi)`; returns `lo` when the range is empty.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
         if hi > lo {
-            self.inner.gen_range(lo..hi)
+            lo + self.unit() * (hi - lo)
         } else {
             lo
         }
@@ -48,7 +85,7 @@ impl SimRng {
         if n == 0 {
             0
         } else {
-            self.inner.gen_range(0..n)
+            (self.next_u64() % n as u64) as usize
         }
     }
 
@@ -58,15 +95,30 @@ impl SimRng {
         if stddev <= 0.0 {
             return mean;
         }
-        Normal::new(mean, stddev)
-            .expect("stddev checked positive")
-            .sample(&mut self.inner)
+        let z = match self.spare.take() {
+            Some(z) => z,
+            None => {
+                // Box–Muller: two uniforms -> two independent N(0, 1).
+                let u1 = loop {
+                    let u = self.unit();
+                    if u > 0.0 {
+                        break u;
+                    }
+                };
+                let u2 = self.unit();
+                let r = (-2.0 * u1.ln()).sqrt();
+                let theta = 2.0 * std::f64::consts::PI * u2;
+                self.spare = Some(r * theta.sin());
+                r * theta.cos()
+            }
+        };
+        mean + stddev * z
     }
 
     /// Derives an independent child generator (used to give each job its
     /// own noise stream so adding a job doesn't perturb the others).
     pub fn fork(&mut self) -> SimRng {
-        SimRng::new(self.inner.gen())
+        SimRng::new(self.next_u64())
     }
 }
 
@@ -136,5 +188,19 @@ mod tests {
         for _ in 0..32 {
             assert_eq!(c1.uniform(0.0, 1.0), c2.uniform(0.0, 1.0));
         }
+    }
+
+    #[test]
+    fn uniform_covers_range() {
+        let mut r = SimRng::new(3);
+        let mut lo_half = 0;
+        for _ in 0..1_000 {
+            let v = r.uniform(10.0, 20.0);
+            assert!((10.0..20.0).contains(&v));
+            if v < 15.0 {
+                lo_half += 1;
+            }
+        }
+        assert!((400..600).contains(&lo_half), "lo_half={lo_half}");
     }
 }

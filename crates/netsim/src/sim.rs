@@ -30,7 +30,6 @@ use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 use crate::trace::BandwidthTrace;
 use std::any::Any;
-use std::collections::HashMap;
 
 /// Handle to an agent registered with a simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -77,20 +76,60 @@ pub struct SimStats {
 
 /// Everything except the agents themselves — what an [`AgentCtx`] can
 /// touch while an agent handler runs.
+///
+/// The per-delivery lookups sit on the hottest path in the simulator, so
+/// they use dense per-index vectors instead of hash maps: `traces` is
+/// indexed by link, `flow_tables` by node (each host carries a short
+/// linear-scanned `(flow, agent)` list — hosts bind a handful of flows,
+/// so a scan beats hashing a 16-byte key per packet).
 struct SimCore {
     now: SimTime,
     events: EventQueue,
     topo: Topology,
     queues: Vec<Box<dyn Queue>>,
-    traces: HashMap<LinkId, BandwidthTrace>,
+    /// Per-link bandwidth trace, indexed by `LinkId::index()`; `None`
+    /// when tracing is off for that link (the common case).
+    traces: Vec<Option<BandwidthTrace>>,
     rng: SimRng,
-    /// `(flow, host)` → agent to dispatch to.
-    bindings: HashMap<(FlowId, NodeId), AgentId>,
+    /// Per-node flow dispatch table, indexed by `NodeId::index()`:
+    /// which agent receives packets of a given flow at this host.
+    flow_tables: Vec<Vec<(FlowId, AgentId)>>,
     agent_hosts: Vec<NodeId>,
+    /// Free list of recycled `Deliver` payload boxes; bounded by the
+    /// peak number of in-flight deliveries. The boxes are the resource
+    /// being pooled — `Deliver` stores `Box<Packet>` to keep `Event`
+    /// small, and this list lets it reuse those allocations.
+    #[allow(clippy::vec_box)]
+    pkt_pool: Vec<Box<Packet>>,
     stats: SimStats,
 }
 
 impl SimCore {
+    /// Wraps a packet for a `Deliver` event, reusing a pooled box when
+    /// one is free.
+    fn boxed(&mut self, pkt: Packet) -> Box<Packet> {
+        match self.pkt_pool.pop() {
+            Some(mut b) => {
+                *b = pkt;
+                b
+            }
+            None => Box::new(pkt),
+        }
+    }
+
+    /// Returns a delivered packet's box to the pool.
+    fn recycle(&mut self, b: Box<Packet>) {
+        self.pkt_pool.push(b);
+    }
+
+    /// The agent bound to `flow` at `node`, if any.
+    fn bound_agent(&self, flow: FlowId, node: NodeId) -> Option<AgentId> {
+        self.flow_tables[node.index()]
+            .iter()
+            .find(|&&(f, _)| f == flow)
+            .map(|&(_, a)| a)
+    }
+
     /// Offers a packet to a channel's egress queue and kicks the
     /// serializer if idle.
     fn enqueue_on(&mut self, link: LinkId, pkt: Packet) {
@@ -126,7 +165,7 @@ impl SimCore {
         ch.packets_sent += 1;
         let to = ch.to;
         let loss_p = ch.spec.loss_probability;
-        if let Some(trace) = self.traces.get_mut(&link) {
+        if let Some(trace) = self.traces[li].as_mut() {
             trace.record(done, pkt.flow, pkt.wire_bytes);
         }
         self.events.schedule(done, EventKind::ChannelIdle { link });
@@ -134,6 +173,7 @@ impl SimCore {
             self.stats.dropped += 1;
             self.topo.channels[li].packets_dropped += 1;
         } else {
+            let pkt = self.boxed(pkt);
             self.events
                 .schedule(arrival, EventKind::Deliver { node: to, pkt });
         }
@@ -179,6 +219,7 @@ impl AgentCtx<'_> {
         let host = self.node();
         if pkt.dst == host {
             let at = self.core.now;
+            let pkt = self.core.boxed(pkt);
             self.core
                 .events
                 .schedule(at, EventKind::Deliver { node: host, pkt });
@@ -195,7 +236,7 @@ impl AgentCtx<'_> {
         self.core.events.schedule(
             at,
             EventKind::Timer {
-                agent: self.id.0,
+                agent: self.id.0 as u32,
                 token,
             },
         );
@@ -208,8 +249,8 @@ impl AgentCtx<'_> {
         self.core.events.schedule(
             at,
             EventKind::Message {
-                to: to.0,
-                from: self.id.0,
+                to: to.0 as u32,
+                from: self.id.0 as u32,
                 token,
             },
         );
@@ -242,21 +283,20 @@ impl Simulator {
     /// Creates a simulator over a routed topology with a deterministic
     /// seed.
     pub fn new(topo: Topology, seed: u64) -> Self {
-        let queues = topo
-            .channels
-            .iter()
-            .map(|c| c.spec.queue.build())
-            .collect();
+        let queues: Vec<_> = topo.channels.iter().map(|c| c.spec.queue.build()).collect();
+        let traces = (0..topo.channels.len()).map(|_| None).collect();
+        let flow_tables = vec![Vec::new(); topo.nodes.len()];
         Self {
             core: SimCore {
                 now: SimTime::ZERO,
                 events: EventQueue::new(),
                 topo,
                 queues,
-                traces: HashMap::new(),
+                traces,
                 rng: SimRng::new(seed),
-                bindings: HashMap::new(),
+                flow_tables,
                 agent_hosts: Vec::new(),
+                pkt_pool: Vec::new(),
                 stats: SimStats::default(),
             },
             agents: Vec::new(),
@@ -288,17 +328,21 @@ impl Simulator {
     /// id on their respective hosts.
     pub fn bind_flow(&mut self, flow: FlowId, agent: AgentId) {
         let host = self.agents[agent.0].host;
-        self.core.bindings.insert((flow, host), agent);
+        let table = &mut self.core.flow_tables[host.index()];
+        match table.iter_mut().find(|(f, _)| *f == flow) {
+            Some(entry) => entry.1 = agent,
+            None => table.push((flow, agent)),
+        }
     }
 
     /// Enables per-flow bandwidth tracing on a channel.
     pub fn enable_trace(&mut self, link: LinkId, bin: SimDuration) {
-        self.core.traces.insert(link, BandwidthTrace::new(bin));
+        self.core.traces[link.index()] = Some(BandwidthTrace::new(bin));
     }
 
     /// The trace collected on `link`, if tracing was enabled.
     pub fn trace(&self, link: LinkId) -> Option<&BandwidthTrace> {
-        self.core.traces.get(&link)
+        self.core.traces[link.index()].as_ref()
     }
 
     /// Current simulated time.
@@ -371,11 +415,8 @@ impl Simulator {
         r
     }
 
-    /// Processes a single event. Returns `false` when the queue is empty.
-    fn step(&mut self) -> bool {
-        let Some(ev) = self.core.events.pop() else {
-            return false;
-        };
+    /// Dispatches one already-popped event.
+    fn dispatch(&mut self, ev: crate::event::Event) {
         debug_assert!(ev.at >= self.core.now, "time went backwards");
         self.core.now = ev.at;
         self.core.stats.events += 1;
@@ -384,31 +425,58 @@ impl Simulator {
                 self.core.start_tx(link);
             }
             EventKind::Deliver { node, pkt } => {
+                // Copy the packet out and recycle its box before any
+                // handler runs, so the pool is warm for re-sends.
+                let p = *pkt;
+                self.core.recycle(pkt);
                 match self.core.topo.nodes[node.index()].kind {
-                    NodeKind::Switch => self.core.forward(node, pkt),
-                    NodeKind::Host => {
-                        match self.core.bindings.get(&(pkt.flow, node)).copied() {
-                            Some(agent) => {
-                                self.core.stats.delivered += 1;
-                                self.with_agent(agent.0, |a, ctx| a.on_packet(ctx, pkt));
-                            }
-                            None => {
-                                // No transport bound: the packet is dropped
-                                // at the host (like a RST-less closed port).
-                                self.core.stats.dropped += 1;
-                            }
+                    NodeKind::Switch => self.core.forward(node, p),
+                    NodeKind::Host => match self.core.bound_agent(p.flow, node) {
+                        Some(agent) => {
+                            self.core.stats.delivered += 1;
+                            self.with_agent(agent.0, |a, ctx| a.on_packet(ctx, p));
                         }
-                    }
+                        None => {
+                            // No transport bound: the packet is dropped
+                            // at the host (like a RST-less closed port).
+                            self.core.stats.dropped += 1;
+                        }
+                    },
                 }
             }
             EventKind::Timer { agent, token } => {
-                self.with_agent(agent, |a, ctx| a.on_timer(ctx, token));
+                self.with_agent(agent as usize, |a, ctx| a.on_timer(ctx, token));
             }
             EventKind::Message { to, from, token } => {
-                self.with_agent(to, |a, ctx| a.on_message(ctx, AgentId(from), token));
+                self.with_agent(to as usize, |a, ctx| {
+                    a.on_message(ctx, AgentId(from as usize), token)
+                });
             }
         }
-        true
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    fn step(&mut self) -> bool {
+        match self.core.events.pop() {
+            Some(ev) => {
+                self.dispatch(ev);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Processes a single event if it fires at or before `deadline`
+    /// (one heap access, no separate peek). Returns `false` when the
+    /// queue is empty or the next event is later than the deadline.
+    fn step_before(&mut self, deadline: SimTime) -> bool {
+        match self.core.events.pop_before(deadline) {
+            Some(ev) => {
+                self.dispatch(ev);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Runs until the event queue drains. Calls every agent's
@@ -420,18 +488,10 @@ impl Simulator {
 
     /// Runs until the queue drains or simulated time would pass
     /// `deadline`; events after the deadline remain queued (the clock is
-    /// left at the last processed event, or at `deadline` if the first
-    /// pending event is later).
+    /// left at `deadline` if the first pending event is later).
     pub fn run_until(&mut self, deadline: SimTime) {
         self.start_agents();
-        loop {
-            match self.core.events.peek_time() {
-                Some(t) if t <= deadline => {
-                    self.step();
-                }
-                _ => break,
-            }
-        }
+        while self.step_before(deadline) {}
         if self.core.now < deadline {
             self.core.now = deadline;
         }
@@ -485,7 +545,13 @@ mod tests {
             if let SegmentHeader::Data { seq, len } = pkt.header {
                 self.received += u64::from(len);
                 let me = ctx.node();
-                ctx.send(Packet::ack(pkt.flow, me, pkt.src, seq + u64::from(len), false));
+                ctx.send(Packet::ack(
+                    pkt.flow,
+                    me,
+                    pkt.src,
+                    seq + u64::from(len),
+                    false,
+                ));
             }
         }
     }
@@ -574,10 +640,7 @@ mod tests {
         // Data traverses the lossy direction once (p = .5); acks are
         // never randomly dropped (loss applies to data only).
         assert!((60..140).contains(&got), "echoes={got}");
-        assert_eq!(
-            u64::from(got),
-            sim.agent::<Echoer>(echoer).received / 1500
-        );
+        assert_eq!(u64::from(got), sim.agent::<Echoer>(echoer).received / 1500);
     }
 
     #[test]
@@ -688,6 +751,100 @@ mod tests {
         assert_eq!(sim.now(), SimTime(11_000_000));
     }
 
+    /// Record of everything observable about a ping-pong run, for
+    /// equivalence checks between run schedules.
+    fn lossy_pingpong_observables(
+        seed: u64,
+        split: Option<&[SimTime]>,
+    ) -> (u32, SimTime, u64, u64, u64, SimTime) {
+        let mut b = TopologyBuilder::new();
+        let h0 = b.host("h0");
+        let h1 = b.host("h1");
+        b.link(
+            h0,
+            h1,
+            LinkSpec::new(Bandwidth::gbps(1), SimDuration::micros(5)).with_loss(0.2),
+        );
+        let mut sim = Simulator::new(b.build().unwrap(), seed);
+        let flow = FlowId(1);
+        let pinger = sim.add_agent(
+            h0,
+            Pinger {
+                peer: h1,
+                flow,
+                pkts: 300,
+                echoes: 0,
+                last_echo_at: SimTime::ZERO,
+            },
+        );
+        let echoer = sim.add_agent(h1, Echoer { received: 0 });
+        sim.bind_flow(flow, pinger);
+        sim.bind_flow(flow, echoer);
+        if let Some(deadlines) = split {
+            for &d in deadlines {
+                sim.run_until(d);
+            }
+        }
+        sim.run();
+        let p = sim.agent::<Pinger>(pinger);
+        (
+            p.echoes,
+            p.last_echo_at,
+            sim.stats().events,
+            sim.stats().delivered,
+            sim.stats().dropped,
+            sim.now(),
+        )
+    }
+
+    /// `run_until` must be a pure pause point: slicing a run into
+    /// arbitrary `run_until` segments plus a final `run` yields the same
+    /// events, deliveries, drops, RNG draws, and agent state as one
+    /// uninterrupted `run`.
+    #[test]
+    fn run_until_then_run_equals_single_run() {
+        let whole = lossy_pingpong_observables(99, None);
+        let deadlines = [
+            SimTime::from_secs_f64(100e-6),
+            SimTime::from_secs_f64(1e-3),
+            SimTime::from_secs_f64(2e-3),
+        ];
+        let sliced = lossy_pingpong_observables(99, Some(&deadlines));
+        // A deadline past the last event advances the final clock; every
+        // other observable must be identical.
+        assert_eq!(whole.0, sliced.0, "echo count diverged");
+        assert_eq!(whole.1, sliced.1, "last echo time diverged");
+        assert_eq!(whole.2, sliced.2, "event count diverged");
+        assert_eq!(whole.3, sliced.3, "delivered count diverged");
+        assert_eq!(whole.4, sliced.4, "dropped count diverged");
+        assert_eq!(whole.5, sliced.5, "final clock diverged");
+    }
+
+    #[test]
+    fn rebinding_a_flow_replaces_the_agent() {
+        let (mut sim, h0, h1) = two_host_sim(Bandwidth::gbps(10), SimDuration::micros(5), 0.0);
+        let flow = FlowId(1);
+        let pinger = sim.add_agent(
+            h0,
+            Pinger {
+                peer: h1,
+                flow,
+                pkts: 5,
+                echoes: 0,
+                last_echo_at: SimTime::ZERO,
+            },
+        );
+        let dead = sim.add_agent(h1, Echoer { received: 0 });
+        let live = sim.add_agent(h1, Echoer { received: 0 });
+        sim.bind_flow(flow, pinger);
+        sim.bind_flow(flow, dead);
+        sim.bind_flow(flow, live); // rebinding replaces, not duplicates
+        sim.run();
+        assert_eq!(sim.agent::<Echoer>(dead).received, 0);
+        assert_eq!(sim.agent::<Echoer>(live).received, 7_500);
+        assert_eq!(sim.agent::<Pinger>(pinger).echoes, 5);
+    }
+
     #[test]
     fn determinism_same_seed_same_trace() {
         let run = |seed: u64| -> (u64, u64, u64) {
@@ -781,12 +938,8 @@ mod tests {
             fn start(&mut self, ctx: &mut AgentCtx<'_>) {
                 let me = ctx.node();
                 // Low-urgency flow 1 first (high tag), then urgent flow 2.
-                ctx.send(
-                    Packet::data(FlowId(1), me, self.peer, 0, 1000).with_priority(1000),
-                );
-                ctx.send(
-                    Packet::data(FlowId(1), me, self.peer, 1000, 1000).with_priority(1000),
-                );
+                ctx.send(Packet::data(FlowId(1), me, self.peer, 0, 1000).with_priority(1000));
+                ctx.send(Packet::data(FlowId(1), me, self.peer, 1000, 1000).with_priority(1000));
                 ctx.send(Packet::data(FlowId(2), me, self.peer, 2000, 1000).with_priority(1));
             }
             fn on_packet(&mut self, _ctx: &mut AgentCtx<'_>, _pkt: Packet) {}

@@ -8,11 +8,15 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// An instant on the simulated clock, in nanoseconds since simulation start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(pub u64);
 
 impl SimTime {
@@ -180,11 +184,11 @@ mod tests {
 
     #[test]
     fn saturating_ops() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::secs(1)), SimTime::MAX);
         assert_eq!(
-            SimDuration(u64::MAX).saturating_mul(2).as_nanos(),
-            u64::MAX
+            SimTime::MAX.saturating_add(SimDuration::secs(1)),
+            SimTime::MAX
         );
+        assert_eq!(SimDuration(u64::MAX).saturating_mul(2).as_nanos(), u64::MAX);
     }
 
     #[test]

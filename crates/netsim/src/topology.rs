@@ -226,9 +226,7 @@ impl Default for DumbbellSpec {
             bottleneck_rate: Bandwidth::gbps(50),
             edge_rate: Bandwidth::gbps(100),
             hop_delay: SimDuration::micros(20),
-            bottleneck_queue: QueueKind::DropTail {
-                cap_bytes: 750_000,
-            },
+            bottleneck_queue: QueueKind::DropTail { cap_bytes: 750_000 },
             edge_queue: QueueKind::DropTail {
                 cap_bytes: 2_000_000,
             },

@@ -251,7 +251,10 @@ mod tests {
         };
         let offs = driver_offsets(
             &sched,
-            &[SimDuration::from_secs_f64(0.6), SimDuration::from_secs_f64(1.5)],
+            &[
+                SimDuration::from_secs_f64(0.6),
+                SimDuration::from_secs_f64(1.5),
+            ],
             &[1.2, 1.8],
         );
         assert!((offs[0].as_secs_f64() - 0.3).abs() < 1e-9);

@@ -96,10 +96,10 @@ pub fn simulate<F: Aggressiveness>(
     for step in 0..steps {
         let t = step as f64 * dt;
         // Phase transitions: think → burst.
-        for i in 0..n {
-            if let CpuPhase::Thinking { until } = phase[i] {
+        for p in phase.iter_mut() {
+            if let CpuPhase::Thinking { until } = *p {
                 if t >= until {
-                    phase[i] = CpuPhase::Bursting { done: 0.0 };
+                    *p = CpuPhase::Bursting { done: 0.0 };
                 }
             }
         }

@@ -5,6 +5,13 @@
 //! repository can demonstrate MLTCP-CUBIC as an ablation. The window
 //! grows along `W(t) = C·(t − K)³ + W_max` between loss events, with the
 //! usual TCP-friendly (Reno-tracking) lower bound.
+//!
+//! Because that growth chases a time-driven *target* (scaling one ack's
+//! increment is undone by the next ack's larger `target − cwnd` gap),
+//! the MLTCP augmentation is consumed natively here: the per-ack gain
+//! `F(bytes_ratio)` scales the constant `C` and the TCP-friendly
+//! increment, making the whole curve steeper or shallower. See
+//! [`CongestionControl::set_gain`].
 
 use super::{AckEvent, CongestionControl, Window};
 use mltcp_netsim::time::SimTime;
@@ -22,6 +29,12 @@ pub struct Cubic {
     k: f64,
     /// Reno-emulation window for the TCP-friendly region.
     w_est: f64,
+    /// MLTCP aggressiveness gain (1.0 = plain CUBIC). Because CUBIC
+    /// chases a time-driven target, the gain is folded into the scaling
+    /// constant `C` (steeper/shallower cubic) and the TCP-friendly
+    /// Reno-emulation increment, not into individual ack increments —
+    /// see [`CongestionControl::set_gain`].
+    gain: f64,
 }
 
 impl Cubic {
@@ -32,13 +45,19 @@ impl Cubic {
             epoch_start: None,
             k: 0.0,
             w_est: 0.0,
+            gain: 1.0,
         }
+    }
+
+    /// The effective cubic scaling constant under the current gain.
+    fn c(&self) -> f64 {
+        C * self.gain
     }
 
     fn begin_epoch(&mut self, now: SimTime, w: &Window) {
         self.epoch_start = Some(now);
         if w.cwnd < self.w_max {
-            self.k = ((self.w_max - w.cwnd) / C).cbrt();
+            self.k = ((self.w_max - w.cwnd) / self.c()).cbrt();
         } else {
             self.k = 0.0;
             self.w_max = w.cwnd;
@@ -66,9 +85,10 @@ impl CongestionControl for Cubic {
             self.begin_epoch(ev.now, w);
         }
         let t = (ev.now - self.epoch_start.expect("epoch set above")).as_secs_f64();
-        let target = C * (t - self.k).powi(3) + self.w_max;
-        // TCP-friendly region: emulate Reno's 1 packet/RTT growth.
-        self.w_est += ev.newly_acked_packets / w.cwnd;
+        let target = self.c() * (t - self.k).powi(3) + self.w_max;
+        // TCP-friendly region: emulate Reno's 1 packet/RTT growth (gain-
+        // scaled, matching the generic Eq. 1 augmentation of Reno).
+        self.w_est += self.gain * ev.newly_acked_packets / w.cwnd;
         let target = target.max(self.w_est);
         if target > w.cwnd {
             // Linux-style: approach the target over roughly one RTT.
@@ -92,6 +112,11 @@ impl CongestionControl for Cubic {
         w.ssthresh = (w.cwnd * BETA).max(Window::MIN_CWND);
         w.cwnd = Window::MIN_CWND;
         self.epoch_start = None;
+    }
+
+    fn set_gain(&mut self, gain: f64) -> bool {
+        self.gain = gain;
+        true
     }
 
     fn name(&self) -> &'static str {
@@ -136,7 +161,7 @@ mod tests {
         // toward w_max = 100 but not wildly past it quickly.
         let mut now = SimTime::ZERO;
         for _ in 0..2000 {
-            now = now + SimDuration::millis(1);
+            now += SimDuration::millis(1);
             c.on_ack(&ack_at(now, 1.0), &mut w);
         }
         assert!(w.cwnd > after_loss);
@@ -153,7 +178,7 @@ mod tests {
         // Long time: convex region should push well past the old w_max.
         let mut now = SimTime::ZERO;
         for _ in 0..20_000 {
-            now = now + SimDuration::millis(1);
+            now += SimDuration::millis(1);
             c.on_ack(&ack_at(now, 1.0), &mut w);
         }
         assert!(w.cwnd > 60.0, "cwnd={}", w.cwnd);

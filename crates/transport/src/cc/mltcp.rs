@@ -9,12 +9,17 @@
 //! ```
 //!
 //! where `Δ_base` is whatever increment the base algorithm would have
-//! applied on this ack (`#num_acks / cwnd` for Reno, the cubic step for
-//! CUBIC, the between-marks additive increase for DCTCP) and
-//! `bytes_ratio` is the fraction of the current training iteration's
-//! bytes already delivered, maintained by
+//! applied on this ack (`#num_acks / cwnd` for Reno, the between-marks
+//! additive increase for DCTCP) and `bytes_ratio` is the fraction of the
+//! current training iteration's bytes already delivered, maintained by
 //! [`mltcp_core::tracker::IterationTracker`] exactly as Algorithm 1
 //! prescribes (ack-gap iteration-boundary detection and all).
+//!
+//! Target-tracking bases opt out of the post-hoc increment scaling via
+//! [`CongestionControl::set_gain`] and fold `F(bytes_ratio)` into their
+//! own growth rate instead — CUBIC scales its curve constant `C`, since
+//! scaling one ack's increment would just be undone by the next ack's
+//! larger target gap.
 //!
 //! Decrease steps (loss, timeout) are untouched: MLTCP only modulates
 //! aggressiveness during window growth, which is what creates the unequal
@@ -176,12 +181,23 @@ impl<C: CongestionControl> CongestionControl for Mltcp<C> {
         self.last_ratio = ratio;
 
         let in_slow_start = w.in_slow_start();
+        let gain = if in_slow_start && !self.scale_slow_start {
+            1.0
+        } else {
+            self.f.eval(ratio)
+        };
+        // Target-tracking bases (CUBIC) consume the gain natively; for
+        // the rest, scale the applied increment post hoc (exact Eq. 1
+        // for additive algorithms like Reno and DCTCP).
+        if self.inner.set_gain(gain) {
+            self.inner.on_ack(ev, w);
+            return;
+        }
         let before = w.cwnd;
         self.inner.on_ack(ev, w);
         let delta = w.cwnd - before;
-        if delta > 0.0 && (!in_slow_start || self.scale_slow_start) {
-            // Eq. 1: scale the base increase by F(bytes_ratio).
-            w.cwnd = before + self.f.eval(ratio) * delta;
+        if delta > 0.0 && gain != 1.0 {
+            w.cwnd = before + gain * delta;
         }
     }
 
@@ -339,6 +355,47 @@ mod tests {
             now += 10_000;
         }
         assert!(m.bytes_ratio() > 0.2, "ratio={}", m.bytes_ratio());
+    }
+
+    #[test]
+    fn cubic_gain_is_consumed_natively() {
+        use crate::cc::cubic::Cubic;
+        // With F ≡ 1, MLTCP-CUBIC must equal plain CUBIC bit-for-bit.
+        let mut plain = Cubic::new();
+        let mut m = Mltcp::new(Cubic::new(), Constant(1.0), oracle(150_000));
+        let mut w1 = Window::initial(10.0);
+        let mut w2 = Window::initial(10.0);
+        w1.ssthresh = 5.0;
+        w2.ssthresh = 5.0;
+        for i in 0..200 {
+            plain.on_ack(&ack_at(i * 100_000, 1.0), &mut w1);
+            m.on_ack(&ack_at(i * 100_000, 1.0), &mut w2);
+        }
+        assert_eq!(w1.cwnd, w2.cwnd);
+    }
+
+    #[test]
+    fn cubic_higher_gain_grows_faster() {
+        use crate::cc::cubic::Cubic;
+        // A constant F > 1 must make CUBIC's convex growth strictly
+        // faster than F < 1 over the same ack stream — the property the
+        // generic increment scaling could NOT deliver for a
+        // target-tracking algorithm.
+        let run = |f: f64| {
+            let mut m = Mltcp::new(Cubic::new(), Constant(f), oracle(150_000_000));
+            let mut w = Window::initial(10.0);
+            w.ssthresh = 5.0;
+            for i in 0..2_000 {
+                m.on_ack(&ack_at(i * 1_000_000, 1.0), &mut w);
+            }
+            w.cwnd
+        };
+        let slow = run(0.25);
+        let fast = run(2.0);
+        assert!(
+            fast > slow * 1.2,
+            "gain must modulate cubic growth: {fast} vs {slow}"
+        );
     }
 
     #[test]

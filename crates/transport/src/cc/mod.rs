@@ -103,6 +103,22 @@ pub trait CongestionControl: std::fmt::Debug + Send + std::any::Any {
         let _ = now;
     }
 
+    /// Native aggressiveness hook for the MLTCP augmentation.
+    ///
+    /// The [`Mltcp`] wrapper calls this with `F(bytes_ratio)` before each
+    /// ack. An algorithm whose growth is *target-tracking* rather than
+    /// increment-accumulative (CUBIC: the window chases a time-driven
+    /// target, so scaling one ack's increment is undone by the next ack)
+    /// should consume the gain natively — fold it into its growth-rate
+    /// constant — and return `true`; the wrapper then skips its generic
+    /// post-hoc increment scaling. Default: not consumed (`false`), which
+    /// selects the generic Eq. 1 scaling that is exact for additive
+    /// algorithms like Reno and DCTCP.
+    fn set_gain(&mut self, gain: f64) -> bool {
+        let _ = gain;
+        false
+    }
+
     /// Algorithm name for logs and experiment tables.
     fn name(&self) -> &'static str;
 }

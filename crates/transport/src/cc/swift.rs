@@ -63,8 +63,7 @@ impl CongestionControl for Swift {
             // At most one multiplicative decrease per RTT.
             let since = ev.now - self.last_decrease;
             if since.as_nanos() >= rtt.as_nanos() {
-                let excess =
-                    (rtt.as_secs_f64() - self.target.as_secs_f64()) / rtt.as_secs_f64();
+                let excess = (rtt.as_secs_f64() - self.target.as_secs_f64()) / rtt.as_secs_f64();
                 let mdf = excess.clamp(0.0, MAX_MDF);
                 w.ssthresh = (w.cwnd * (1.0 - mdf)).max(Window::MIN_CWND);
                 w.cwnd = w.ssthresh;
@@ -163,7 +162,11 @@ mod tests {
         w.cwnd = 100.0;
         // RTT 110 µs: excess ≈ 9.1% → cwnd ≈ 90.9.
         s.on_ack(&ack(1_000, 110, 1.0), &mut w);
-        assert!((w.cwnd - 100.0 * (1.0 - 10.0 / 110.0)).abs() < 1e-6, "cwnd={}", w.cwnd);
+        assert!(
+            (w.cwnd - 100.0 * (1.0 - 10.0 / 110.0)).abs() < 1e-6,
+            "cwnd={}",
+            w.cwnd
+        );
     }
 
     #[test]

@@ -57,7 +57,9 @@ mod tests {
     fn round_trip() {
         for msg in [
             Msg::StartTransfer { bytes: 0 },
-            Msg::StartTransfer { bytes: 1_000_000_000 },
+            Msg::StartTransfer {
+                bytes: 1_000_000_000,
+            },
             Msg::TransferComplete { bytes: 123 },
             Msg::TransferComplete {
                 bytes: PAYLOAD_MASK,

@@ -50,12 +50,9 @@ impl RttEstimator {
             Some(srtt) => {
                 let diff = if srtt > rtt { srtt - rtt } else { rtt - srtt };
                 // rttvar = 3/4 rttvar + 1/4 |srtt - rtt|
-                self.rttvar =
-                    SimDuration((3 * self.rttvar.as_nanos() + diff.as_nanos()) / 4);
+                self.rttvar = SimDuration((3 * self.rttvar.as_nanos() + diff.as_nanos()) / 4);
                 // srtt = 7/8 srtt + 1/8 rtt
-                self.srtt = Some(SimDuration(
-                    (7 * srtt.as_nanos() + rtt.as_nanos()) / 8,
-                ));
+                self.srtt = Some(SimDuration((7 * srtt.as_nanos() + rtt.as_nanos()) / 8));
             }
         }
         self.backoff_exp = 0;

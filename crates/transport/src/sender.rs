@@ -13,8 +13,8 @@
 use crate::cc::{AckEvent, CongestionControl, Window};
 use crate::proto::{self, Msg};
 use crate::rtt::RttEstimator;
-use mltcp_netsim::packet::{EcnCodepoint, FlowId, Packet, SegmentHeader};
 use mltcp_netsim::node::NodeId;
+use mltcp_netsim::packet::{EcnCodepoint, FlowId, Packet, SegmentHeader};
 use mltcp_netsim::sim::{Agent, AgentCtx, AgentId};
 use mltcp_netsim::time::SimTime;
 use std::collections::{BTreeMap, VecDeque};
@@ -242,10 +242,8 @@ impl TcpSender {
             if self.inflight_packets() + 1.0 > cwnd_pkts + 1e-9 {
                 break;
             }
-            let len = u32::try_from(
-                (self.stream_end - self.snd_nxt).min(u64::from(self.cfg.mss)),
-            )
-            .expect("segment fits u32");
+            let len = u32::try_from((self.stream_end - self.snd_nxt).min(u64::from(self.cfg.mss)))
+                .expect("segment fits u32");
             let pkt = self.make_segment(me, self.snd_nxt, len);
             let is_resend = self.snd_nxt < self.resend_below;
             self.send_times.insert(self.snd_nxt, (ctx.now(), is_resend));
@@ -301,11 +299,7 @@ impl TcpSender {
         // Karn's algorithm: sample RTT from the newest fully-acked,
         // never-retransmitted segment.
         let mut sample = None;
-        let covered: Vec<u64> = self
-            .send_times
-            .range(..cum_ack)
-            .map(|(&s, _)| s)
-            .collect();
+        let covered: Vec<u64> = self.send_times.range(..cum_ack).map(|(&s, _)| s).collect();
         for s in covered {
             let (t, retx) = self.send_times.remove(&s).expect("key from range");
             if !retx {

@@ -32,10 +32,7 @@ impl Agent for OneShotDriver {
     }
 }
 
-fn one_flow_sim(
-    loss: f64,
-    queue: QueueKind,
-) -> (Simulator, AgentId, AgentId /* driver, sender */) {
+fn one_flow_sim(loss: f64, queue: QueueKind) -> (Simulator, AgentId, AgentId /* driver, sender */) {
     let mut b = TopologyBuilder::new();
     let h0 = b.host("h0");
     let h1 = b.host("h1");
@@ -67,8 +64,7 @@ fn one_flow_sim(
 
 #[test]
 fn clean_path_transfers_all_bytes_near_line_rate() {
-    let (mut sim, driver, sender) =
-        one_flow_sim(0.0, QueueKind::DropTail { cap_bytes: 500_000 });
+    let (mut sim, driver, sender) = one_flow_sim(0.0, QueueKind::DropTail { cap_bytes: 500_000 });
     sim.run();
     let done = sim
         .agent::<OneShotDriver>(driver)
@@ -89,8 +85,7 @@ fn clean_path_transfers_all_bytes_near_line_rate() {
 
 #[test]
 fn random_loss_recovers_and_completes() {
-    let (mut sim, driver, sender) =
-        one_flow_sim(0.01, QueueKind::DropTail { cap_bytes: 500_000 });
+    let (mut sim, driver, sender) = one_flow_sim(0.01, QueueKind::DropTail { cap_bytes: 500_000 });
     sim.run();
     assert!(sim.agent::<OneShotDriver>(driver).done_at.is_some());
     let s = sim.agent::<TcpSender>(sender);
@@ -100,8 +95,7 @@ fn random_loss_recovers_and_completes() {
 
 #[test]
 fn heavy_loss_still_completes_via_timeouts() {
-    let (mut sim, driver, sender) =
-        one_flow_sim(0.2, QueueKind::DropTail { cap_bytes: 500_000 });
+    let (mut sim, driver, sender) = one_flow_sim(0.2, QueueKind::DropTail { cap_bytes: 500_000 });
     sim.run();
     assert!(
         sim.agent::<OneShotDriver>(driver).done_at.is_some(),
@@ -115,8 +109,7 @@ fn heavy_loss_still_completes_via_timeouts() {
 #[test]
 fn tiny_buffer_forces_fast_retransmit_not_collapse() {
     // 15 kB buffer at 10 Gbps: overflow drops trigger dupack recovery.
-    let (mut sim, driver, sender) =
-        one_flow_sim(0.0, QueueKind::DropTail { cap_bytes: 15_000 });
+    let (mut sim, driver, sender) = one_flow_sim(0.0, QueueKind::DropTail { cap_bytes: 15_000 });
     sim.run();
     assert!(sim.agent::<OneShotDriver>(driver).done_at.is_some());
     let s = sim.agent::<TcpSender>(sender);

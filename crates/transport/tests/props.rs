@@ -2,16 +2,18 @@
 //! arbitrary event sequences, and end-to-end delivery under randomized
 //! loss patterns.
 
+use mltcp_core::aggressiveness::Linear;
 use mltcp_netsim::link::{Bandwidth, LinkSpec};
 use mltcp_netsim::packet::{FlowId, Packet};
 use mltcp_netsim::sim::{Agent, AgentCtx, AgentId, Simulator};
 use mltcp_netsim::time::{SimDuration, SimTime};
 use mltcp_netsim::topology::TopologyBuilder;
-use mltcp_transport::cc::{AckEvent, CongestionControl, Cubic, Dctcp, Mltcp, MltcpConfig, Reno, Window};
+use mltcp_transport::cc::{
+    AckEvent, CongestionControl, Cubic, Dctcp, Mltcp, MltcpConfig, Reno, Window,
+};
 use mltcp_transport::proto::{self, Msg};
 use mltcp_transport::sender::SenderConfig;
 use mltcp_transport::{install_connection, TcpSender};
-use mltcp_core::aggressiveness::Linear;
 use proptest::prelude::*;
 
 /// One synthetic CC event.
@@ -35,7 +37,7 @@ fn drive(cc: &mut dyn CongestionControl, evs: &[Ev]) -> bool {
     let mut w = Window::initial(10.0);
     let mut now = SimTime::ZERO;
     for e in evs {
-        now = now + SimDuration::micros(100);
+        now += SimDuration::micros(100);
         match e {
             Ev::Ack { pkts, ecn, rec } => {
                 cc.on_ack(
@@ -95,7 +97,7 @@ proptest! {
         wa.ssthresh = 5.0;
         let mut now = SimTime::ZERO;
         for pkts in acks {
-            now = now + SimDuration::micros(100);
+            now += SimDuration::micros(100);
             let mk = |_w: &Window| AckEvent {
                 now,
                 newly_acked_bytes: (pkts * 1500.0) as u64,

@@ -170,8 +170,7 @@ impl JobDriver {
         let mean = self.spec.compute_time.as_secs_f64();
         let sigma = self.spec.noise_stddev.as_secs_f64();
         let noisy = self.rng.gaussian(mean, sigma).max(mean * 0.01).max(1e-9);
-        self.compute_slice =
-            SimDuration::from_secs_f64(noisy / f64::from(self.spec.bursts.max(1)));
+        self.compute_slice = SimDuration::from_secs_f64(noisy / f64::from(self.spec.bursts.max(1)));
         self.begin_compute_slice(ctx, 0);
     }
 

@@ -22,6 +22,9 @@
 //! * [`scenario`] — a one-stop builder wiring dumbbell topology + jobs +
 //!   congestion control choices into a runnable simulation; used by the
 //!   examples, benches, and integration tests.
+//! * [`sweep`] — [`sweep::SweepRunner`]: fans independent scenario runs
+//!   out across threads with results collected in input order, so figure
+//!   sweeps parallelize without changing their output bytes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,8 +34,10 @@ pub mod job;
 pub mod models;
 pub mod scenario;
 pub mod stats;
+pub mod sweep;
 
 pub use driver::JobDriver;
 pub use job::JobSpec;
 pub use scenario::{CongestionSpec, FnSpec, Scenario, ScenarioBuilder};
 pub use stats::IterationStats;
+pub use sweep::SweepRunner;

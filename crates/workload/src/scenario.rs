@@ -308,9 +308,7 @@ impl ScenarioBuilder {
         }
         let min_rto = self
             .min_rto
-            .unwrap_or(SimDuration(
-                (self.hop_delay.as_nanos() * 20).max(50_000),
-            ));
+            .unwrap_or(SimDuration((self.hop_delay.as_nanos() * 20).max(50_000)));
 
         let mut handles = Vec::new();
         let mut pair_idx = 0usize;
@@ -484,7 +482,10 @@ mod tests {
         assert!(CongestionSpec::Dctcp.needs_ecn());
         assert!(CongestionSpec::MltcpDctcp(FnSpec::Paper).needs_ecn());
         assert!(!CongestionSpec::MltcpReno(FnSpec::Paper).needs_ecn());
-        assert_eq!(CongestionSpec::MltcpReno(FnSpec::Paper).label(), "mltcp-reno");
+        assert_eq!(
+            CongestionSpec::MltcpReno(FnSpec::Paper).label(),
+            "mltcp-reno"
+        );
     }
 
     #[test]

@@ -113,10 +113,7 @@ impl IterationStats {
         }
         let ok = |d: f64| ((d - target) / target).abs() <= rel_tol;
         // Walk backwards to find the last violation.
-        let last_bad = self
-            .durations_secs
-            .iter()
-            .rposition(|&d| !ok(d));
+        let last_bad = self.durations_secs.iter().rposition(|&d| !ok(d));
         match last_bad {
             None => Some(0),
             Some(i) if i + 1 < self.durations_secs.len() => Some(i + 1),

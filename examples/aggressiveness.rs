@@ -13,7 +13,10 @@ const ITERS: u32 = 50;
 
 fn main() {
     let rate = models::paper_bottleneck();
-    println!("{:<30} {:>6} {:>8} {:>9} {:>10}", "function", "incr?", "range", "early(ms)", "late(ms)");
+    println!(
+        "{:<30} {:>6} {:>8} {:>9} {:>10}",
+        "function", "incr?", "range", "early(ms)", "late(ms)"
+    );
     for f in FigureFunction::ALL {
         // Static requirement check (paper §3.1's three requirements).
         let req = check_requirements(&f, 1001);

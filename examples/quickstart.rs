@@ -43,7 +43,10 @@ fn run(cc: CongestionSpec, label: &str) {
 }
 
 fn main() {
-    run(CongestionSpec::Reno, "TCP-Reno (jobs stay synchronized and contend)");
+    run(
+        CongestionSpec::Reno,
+        "TCP-Reno (jobs stay synchronized and contend)",
+    );
     run(
         CongestionSpec::MltcpReno(FnSpec::Paper),
         "MLTCP-Reno (jobs slide apart and interleave)",

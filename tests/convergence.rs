@@ -35,14 +35,27 @@ fn mean_steady_ratio(sc: &Scenario) -> f64 {
 
 /// The core claim: six synchronized GPT-2 jobs stay congested under Reno
 /// but interleave under MLTCP-Reno (paper Fig. 4).
+///
+/// Reno's packed-case slowdown is strongly seed-dependent (jitter alone
+/// occasionally drifts the jobs apart), so the claim is checked on the
+/// mean over a few fixed seeds rather than a single draw.
 #[test]
 fn six_jobs_mltcp_interleaves_reno_does_not() {
     let rate = models::paper_bottleneck();
-    let jobs = || noisy(models::gpt2_pack(rate, SCALE, 40, 6));
-    let reno = run_uniform(42, jobs(), CongestionSpec::Reno);
-    let mltcp = run_uniform(42, jobs(), CongestionSpec::MltcpReno(FnSpec::Paper));
-    let r = mean_steady_ratio(&reno);
-    let m = mean_steady_ratio(&mltcp);
+    let seeds = [42u64, 1, 2, 3];
+    let mut r_sum = 0.0;
+    let mut m_sum = 0.0;
+    for seed in seeds {
+        let jobs = || noisy(models::gpt2_pack(rate, SCALE, 40, 6));
+        r_sum += mean_steady_ratio(&run_uniform(seed, jobs(), CongestionSpec::Reno));
+        m_sum += mean_steady_ratio(&run_uniform(
+            seed,
+            jobs(),
+            CongestionSpec::MltcpReno(FnSpec::Paper),
+        ));
+    }
+    let r = r_sum / seeds.len() as f64;
+    let m = m_sum / seeds.len() as f64;
     assert!(
         m < r * 0.85,
         "MLTCP must clearly beat Reno in the packed case: {m:.3} vs {r:.3}"
@@ -155,7 +168,9 @@ fn scenarios_are_deterministic() {
             noisy(models::gpt2_pack(rate, SCALE, 10, 3)),
             CongestionSpec::MltcpReno(FnSpec::Paper),
         );
-        (0..3).map(|i| sc.stats(i).durations().to_vec()).collect::<Vec<_>>()
+        (0..3)
+            .map(|i| sc.stats(i).durations().to_vec())
+            .collect::<Vec<_>>()
     };
     assert_eq!(series(11), series(11));
     assert_ne!(series(11), series(12));
@@ -177,7 +192,10 @@ fn mltcp_does_not_starve_legacy_reno() {
     }
     let mut sc = b.build();
     sc.run(SimTime::from_secs_f64(60.0));
-    assert!(sc.all_finished(), "legacy flow must complete all iterations");
+    assert!(
+        sc.all_finished(),
+        "legacy flow must complete all iterations"
+    );
     let legacy = sc.stats(0).tail_mean(5) / sc.ideal_period(0).as_secs_f64();
     assert!(
         legacy < 2.5,

@@ -86,7 +86,10 @@ fn convergence_happens_within_tens_of_iterations() {
     let settled = (0..6)
         .filter(|&i| matches!(sc.stats(i).converged_after(0.10, 5), Some(k) if k <= 30))
         .count();
-    assert!(settled >= 3, "only {settled}/6 jobs settled within 30 iterations");
+    assert!(
+        settled >= 3,
+        "only {settled}/6 jobs settled within 30 iterations"
+    );
 }
 
 /// The final simulated comm-phase placements of the six-job packed case
@@ -96,7 +99,7 @@ fn final_simulated_schedule_has_low_analytic_contention() {
     let rate = models::paper_bottleneck();
     let mut b = ScenarioBuilder::new(9);
     let jobs = models::gpt2_pack(rate, SCALE, 40, 6);
-    let period = jobs[0].ideal_period(rate).as_secs_f64();
+    let _period = jobs[0].ideal_period(rate).as_secs_f64();
     let a = jobs[0].comm_fraction(rate);
     for j in jobs {
         let n = j.compute_time.mul_f64(0.01);

@@ -1,0 +1,180 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the subset of the criterion API the workspace's `harness = false`
+//! benches use: [`Criterion::bench_function`], [`Criterion::benchmark_group`]
+//! with [`BenchmarkGroup::throughput`] / [`BenchmarkGroup::sample_size`],
+//! [`Bencher::iter`], [`Throughput::Elements`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is a plain wall-clock loop: one warmup call, then repeated
+//! calls until a fixed time budget (`CRITERION_BUDGET_MS`, default 300 ms
+//! per benchmark) is spent, reporting mean ns/iter and, when a
+//! [`Throughput`] is set, elements/sec. No statistics, plots, or saved
+//! baselines. When invoked with `--test` (as `cargo test` does for bench
+//! targets), every benchmark body runs exactly once so the suite stays
+//! fast and acts as a smoke test.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn budget() -> Duration {
+    let ms = std::env::var("CRITERION_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    budget: Duration,
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records the mean wall-clock time.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.mean_ns = 0.0;
+            self.iters = 1;
+            return;
+        }
+        black_box(f()); // warmup
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn run_one(name: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        test_mode: test_mode(),
+        budget: budget(),
+        mean_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.test_mode {
+        println!("test bench {name} ... ok");
+        return;
+    }
+    let per = b.mean_ns;
+    let human = if per >= 1e9 {
+        format!("{:.3} s", per / 1e9)
+    } else if per >= 1e6 {
+        format!("{:.3} ms", per / 1e6)
+    } else if per >= 1e3 {
+        format!("{:.3} us", per / 1e3)
+    } else {
+        format!("{per:.1} ns")
+    };
+    let thru = match throughput {
+        Some(Throughput::Elements(n)) if per > 0.0 => {
+            format!("  ({:.3} Melem/s)", n as f64 / per * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if per > 0.0 => {
+            format!("  ({:.3} MiB/s)", n as f64 / per * 1e3 / 1.048_576)
+        }
+        _ => String::new(),
+    };
+    println!("{name:<40} {human:>12}/iter  [{} iters]{thru}", b.iters);
+}
+
+/// Top-level benchmark driver (subset of criterion's `Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, None, &mut f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness sizes runs by time
+    /// budget, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary from [`criterion_group!`] outputs.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

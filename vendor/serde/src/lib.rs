@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`.
+//!
+//! This repository builds in an environment without crates.io access, so
+//! the real `serde` cannot be fetched. The workspace's `#[derive(
+//! Serialize, Deserialize)]` annotations are kept (they document which
+//! types are meant to be wire-stable and keep the door open for a future
+//! online build); this shim makes them compile:
+//!
+//! * [`Serialize`] / [`Deserialize`] are marker traits with blanket
+//!   impls, so any `T: Serialize` bound is satisfied.
+//! * The re-exported derive macros (from the sibling `serde_derive`
+//!   shim) parse and expand to nothing.
+//!
+//! Actual JSON emission for experiment artifacts lives in
+//! `mltcp_bench::json`, which is hand-rolled for the handful of result
+//! types that need it.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

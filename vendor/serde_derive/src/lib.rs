@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the real serde derive machinery (which pulls in `syn`/`quote`)
+//! cannot be used. The workspace keeps its `#[derive(Serialize,
+//! Deserialize)]` annotations as documentation of intent and for a future
+//! online build; actual serialization goes through the hand-rolled JSON
+//! emitter in `mltcp-bench` (`mltcp_bench::json`).
+//!
+//! These derives therefore accept any item and expand to nothing: the
+//! marker traits in the sibling `serde` shim have blanket impls, so
+//! `T: Serialize` bounds still hold.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (see crate docs).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (see crate docs).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
