@@ -1,0 +1,303 @@
+//! **Fault recovery** — MLTCP self-heals where a static Cassini plan
+//! must replan.
+//!
+//! The canonical 4-job Fig. 2 mix (GPT-3 + 3×GPT-2) runs through a sweep
+//! of fault classes × severities — bottleneck link flaps, bandwidth
+//! brownouts, Gilbert–Elliott bursty-loss windows, and a job
+//! crash/restart — under two plans:
+//!
+//! * **mltcp-reno** — every flow runs the distributed MLTCP algorithm;
+//!   after a fault perturbs the jobs' phases, the bandwidth-aggressiveness
+//!   feedback loop re-interleaves them with no coordination;
+//! * **cassini-static** — the centralized optimizer's offsets, applied
+//!   once and *not recomputed*: the plan that was optimal before the
+//!   fault keeps running, which is what happens to a Cassini-style
+//!   controller between replan rounds.
+//!
+//! Reported per case: the post-fault steady-state iteration ratio (tail
+//! mean ÷ analytic ideal) and iterations-to-re-interleave (first index
+//! after which every later duration is within 5% of the pre-fault steady
+//! mean). MLTCP should re-converge within tens of iterations; the static
+//! plan drifts and stays degraded.
+
+use mltcp_bench::experiments::{
+    cassini_scenario, mix_deadline, print_summary_table, reconverge_after, summarize_run,
+    FaultCase, PlanKind, RunSummary,
+};
+use mltcp_bench::{experiments::fig2_jobs, iters_or, scale, seed, Figure, Series};
+use mltcp_netsim::fault::GilbertElliott;
+use mltcp_netsim::time::{SimDuration, SimTime};
+use mltcp_workload::scenario::{CongestionSpec, FnSpec, Scenario};
+use mltcp_workload::{JobDriver, SweepRunner};
+
+/// Re-convergence tolerance: within 5% of the pre-fault steady mean.
+const REL_TOL: f64 = 0.05;
+
+struct CaseResult {
+    summary: RunSummary,
+    /// Per-job iterations-to-re-interleave (`None` = no baseline or
+    /// never recovered).
+    reconv: Vec<Option<usize>>,
+    /// Mix-level mean iteration ratio per index (jobs may trade places
+    /// at a new fixed point; the mix mean measures system efficiency).
+    mix_series: Vec<f64>,
+    /// Mix-level iterations-to-re-interleave.
+    reconv_mix: Option<usize>,
+}
+
+/// First iteration of job `idx` whose duration could reflect the fault.
+fn fault_iteration(sc: &Scenario, idx: usize, case: &FaultCase) -> Option<usize> {
+    let driver = sc.sim.agent::<JobDriver>(sc.jobs[idx].driver);
+    let records = driver.records();
+    let onset = match *case {
+        FaultCase::None => return None,
+        FaultCase::LinkFlap { at, .. }
+        | FaultCase::Brownout { at, .. }
+        | FaultCase::BurstyLoss { at, .. } => at,
+        FaultCase::JobRestart { job, at_iter, .. } => {
+            if job == idx {
+                return Some(at_iter as usize);
+            }
+            // Peers feel the restart when the job *resumes* and its
+            // traffic re-enters the bottleneck out of phase.
+            sc.restart_resume(job)?.1
+        }
+    };
+    records.iter().position(|r| r.end >= onset)
+}
+
+fn run_case(seed: u64, case: &FaultCase, plan: &PlanKind, scale: f64, iters: u32) -> CaseResult {
+    // Cap RTO backoff near one iteration period so a sender probes a
+    // repaired link promptly instead of overshooting the outage.
+    let period = SimDuration::from_secs_f64(1.8 * scale); // GPT-2 ideal period
+    let mut sc = case
+        .builder(seed, fig2_jobs(scale, iters), plan)
+        .max_rto(period)
+        .build();
+    sc.run(mix_deadline(scale, iters));
+    assert!(
+        sc.all_finished(),
+        "{}/{}: jobs did not finish",
+        case.label(),
+        plan.label()
+    );
+    let fault_idxs: Vec<Option<usize>> = (0..sc.jobs.len())
+        .map(|i| fault_iteration(&sc, i, case))
+        .collect();
+    let reconv = (0..sc.jobs.len())
+        .map(|i| {
+            let fi = fault_idxs[i]?;
+            reconverge_after(sc.stats(i).durations(), fi, REL_TOL)
+        })
+        .collect();
+    let summary = summarize_run(&sc);
+    let n_iter = summary.durations.iter().map(Vec::len).min().unwrap_or(0);
+    let mix_series: Vec<f64> = (0..n_iter)
+        .map(|k| {
+            summary
+                .durations
+                .iter()
+                .zip(&summary.ideals)
+                .map(|(d, &ideal)| d[k] / ideal)
+                .sum::<f64>()
+                / summary.durations.len() as f64
+        })
+        .collect();
+    // The mix is "post-fault" only once every job is past its own onset.
+    let reconv_mix = fault_idxs
+        .iter()
+        .copied()
+        .collect::<Option<Vec<_>>>()
+        .and_then(|fis| reconverge_after(&mix_series, fis.into_iter().max()?, REL_TOL));
+    CaseResult {
+        summary,
+        reconv,
+        mix_series,
+        reconv_mix,
+    }
+}
+
+fn main() {
+    let scale = scale();
+    let iters = iters_or(60);
+    let period = SimDuration::from_secs_f64(1.8 * scale); // GPT-2 ideal period
+                                                          // Fault onset: ~35% into the run, so every job has a pre-fault
+                                                          // baseline and plenty of post-fault runway.
+    let at = SimTime::from_secs_f64(1.8 * scale * f64::from(iters) * 0.35);
+    let restart_iter = iters / 3;
+
+    let cases: Vec<(&'static str, FaultCase)> = vec![
+        ("none", FaultCase::None),
+        (
+            "link_flap/mild",
+            FaultCase::LinkFlap {
+                at,
+                outage: period.mul_f64(0.5),
+            },
+        ),
+        (
+            "link_flap/severe",
+            FaultCase::LinkFlap {
+                at,
+                outage: period.mul_f64(2.0),
+            },
+        ),
+        (
+            "brownout/mild",
+            FaultCase::Brownout {
+                at,
+                window: period.mul_f64(4.0),
+                factor: 0.5,
+            },
+        ),
+        (
+            "brownout/severe",
+            FaultCase::Brownout {
+                at,
+                window: period.mul_f64(4.0),
+                factor: 0.25,
+            },
+        ),
+        (
+            "bursty_loss/mild",
+            FaultCase::BurstyLoss {
+                at,
+                window: period.mul_f64(4.0),
+                model: GilbertElliott::bursty(0.05, 0.3, 0.25),
+            },
+        ),
+        (
+            "bursty_loss/severe",
+            FaultCase::BurstyLoss {
+                at,
+                window: period.mul_f64(4.0),
+                model: GilbertElliott::bursty(0.1, 0.25, 0.5),
+            },
+        ),
+        (
+            "job_restart/mild",
+            FaultCase::JobRestart {
+                job: 0,
+                at_iter: restart_iter,
+                outage: SimDuration::from_secs_f64(1.2 * scale * 0.5),
+            },
+        ),
+        (
+            "job_restart/severe",
+            FaultCase::JobRestart {
+                job: 0,
+                at_iter: restart_iter,
+                outage: SimDuration::from_secs_f64(1.2 * scale * 2.0),
+            },
+        ),
+    ];
+    let plans = [
+        PlanKind::Uniform(CongestionSpec::MltcpReno(FnSpec::Paper)),
+        PlanKind::CassiniStatic,
+    ];
+
+    let mut fig = Figure::new(
+        "exp_fault_recovery",
+        "Fault recovery: MLTCP re-interleaves after faults; static Cassini offsets do not",
+    );
+
+    // Reference: what the Cassini plan *promises* when it is enforced
+    // (paced) and nothing faults. The static baseline is measured against
+    // this — "recovered" for a plan means regaining planned quality.
+    let planned_optimal = {
+        let mut sc = cassini_scenario(seed(), fig2_jobs(scale, iters));
+        sc.run(mix_deadline(scale, iters));
+        assert!(
+            sc.all_finished(),
+            "enforced cassini reference did not finish"
+        );
+        summarize_run(&sc).mean_steady_ratio
+    };
+
+    // One independent simulation per (case, plan): fan out over workers.
+    let grid: Vec<(usize, usize)> = (0..cases.len())
+        .flat_map(|c| (0..plans.len()).map(move |p| (c, p)))
+        .collect();
+    let results = SweepRunner::new().run(&grid, |_, &(c, p)| {
+        run_case(seed(), &cases[c].1, &plans[p], scale, iters)
+    });
+
+    for ((c, p), res) in grid.iter().zip(&results) {
+        let (case_label, case) = &cases[*c];
+        let plan = &plans[*p];
+        let label = format!("{}/{}", case_label, plan.label());
+        print_summary_table(&label, &res.summary);
+        fig.metric(
+            format!("{label}: mean steady ratio (post-fault)"),
+            res.summary.mean_steady_ratio,
+        );
+        fig.metric(
+            format!("{label}: gap to planned optimal (%)"),
+            (res.summary.mean_steady_ratio / planned_optimal - 1.0) * 100.0,
+        );
+        if !matches!(case, FaultCase::None) {
+            // Worst per-job re-convergence; a job that never recovered
+            // reports the full remaining run as its cost.
+            let worst = res
+                .reconv
+                .iter()
+                .map(|r| r.map(|n| n as f64).unwrap_or(f64::from(iters)))
+                .fold(0.0_f64, f64::max);
+            fig.metric(format!("{label}: iterations to re-interleave (max)"), worst);
+            let recovered = res.reconv.iter().filter(|r| r.is_some()).count();
+            fig.metric(
+                format!("{label}: jobs recovered (of {})", res.reconv.len()),
+                recovered as f64,
+            );
+            fig.metric(
+                format!("{label}: mix iterations to re-interleave"),
+                res.reconv_mix.map(|n| n as f64).unwrap_or(f64::from(iters)),
+            );
+        }
+        fig.push_series(Series::from_y(
+            format!("{label}: mix mean iteration ratio"),
+            res.mix_series.clone(),
+        ));
+        for ((r, &ideal), durs) in res
+            .summary
+            .jobs
+            .iter()
+            .zip(&res.summary.ideals)
+            .zip(&res.summary.durations)
+        {
+            fig.push_series(Series::from_y(
+                format!("{label}: {} iteration times (x ideal)", r.name),
+                durs.iter().map(|d| d / ideal).collect(),
+            ));
+        }
+    }
+
+    // Headline comparison: across all faulted cases, MLTCP's post-fault
+    // steady ratio vs the static plan's.
+    let mut mltcp_worst: f64 = 0.0;
+    let mut static_best = f64::INFINITY;
+    for ((c, p), res) in grid.iter().zip(&results) {
+        if matches!(cases[*c].1, FaultCase::None) {
+            continue;
+        }
+        match plans[*p] {
+            PlanKind::Uniform(_) => mltcp_worst = mltcp_worst.max(res.summary.mean_steady_ratio),
+            PlanKind::CassiniStatic => static_best = static_best.min(res.summary.mean_steady_ratio),
+        }
+    }
+    fig.metric(
+        "planned optimal (enforced cassini, fault-free)",
+        planned_optimal,
+    );
+    fig.metric("mltcp worst post-fault steady ratio", mltcp_worst);
+    fig.metric("cassini-static best post-fault steady ratio", static_best);
+    fig.note(
+        "expected: mltcp returns to its fault-free steady level within tens \
+         of iterations for every fault class (the aggressiveness feedback \
+         loop re-interleaves with no coordination); the static, \
+         never-recomputed Cassini offsets never regain planned (enforced) \
+         quality after drift or faults — they degenerate to uncoordinated \
+         Reno-level performance, which is why Cassini must replan.",
+    );
+    fig.finish();
+}

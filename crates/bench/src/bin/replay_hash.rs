@@ -1,0 +1,83 @@
+//! **Replay hash** — a deterministic fingerprint of one faulted run.
+//!
+//! Runs the canonical 4-job mix through a composite fault schedule (link
+//! flap + brownout + bursty loss + a job restart) and prints one FNV-1a
+//! hash over every iteration record of every job plus the simulator's
+//! delivery/drop counters. CI runs this binary twice and compares the
+//! hashes: same fault seed ⇒ byte-identical trace, or the simulator's
+//! determinism contract is broken.
+//!
+//! Honors `MLTCP_SEED` / `MLTCP_SCALE` / `MLTCP_ITERS` like every other
+//! binary, so a determinism failure can be bisected at other operating
+//! points.
+
+use mltcp_bench::experiments::{fig2_jobs, mix_deadline, FaultCase, PlanKind};
+use mltcp_bench::{iters_or, scale, seed};
+use mltcp_netsim::fault::GilbertElliott;
+use mltcp_netsim::time::{SimDuration, SimTime};
+use mltcp_workload::scenario::{CongestionSpec, FnSpec, LinkFault};
+use mltcp_workload::JobDriver;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1_0000_01b3;
+
+fn fnv1a(hash: &mut u64, value: u64) {
+    for byte in value.to_le_bytes() {
+        *hash ^= u64::from(byte);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn main() {
+    let scale = scale();
+    let iters = iters_or(24);
+    let period = SimDuration::from_secs_f64(1.8 * scale);
+    let t = |frac: f64| SimTime::from_secs_f64(1.8 * scale * f64::from(iters) * frac);
+
+    // A composite schedule touching every fault class in one run.
+    let restart = FaultCase::JobRestart {
+        job: 0,
+        at_iter: iters / 3,
+        outage: period.mul_f64(0.75),
+    };
+    let mut sc = restart
+        .builder(
+            seed(),
+            fig2_jobs(scale, iters),
+            &PlanKind::Uniform(CongestionSpec::MltcpReno(FnSpec::Paper)),
+        )
+        .max_rto(period)
+        .bottleneck_fault(LinkFault::Down {
+            at: t(0.2),
+            duration: period.mul_f64(0.5),
+        })
+        .bottleneck_fault(LinkFault::Brownout {
+            at: t(0.45),
+            duration: period.mul_f64(2.0),
+            factor: 0.3,
+        })
+        .bottleneck_fault(LinkFault::BurstyLoss {
+            at: t(0.7),
+            duration: period.mul_f64(2.0),
+            model: GilbertElliott::bursty(0.08, 0.25, 0.4),
+        })
+        .build();
+    sc.run(mix_deadline(scale, iters));
+    assert!(sc.all_finished(), "faulted replay did not finish");
+
+    let mut hash = FNV_OFFSET;
+    for job in &sc.jobs {
+        let driver = sc.sim.agent::<JobDriver>(job.driver);
+        for r in driver.records() {
+            fnv1a(&mut hash, u64::from(r.index));
+            fnv1a(&mut hash, r.start.as_nanos());
+            fnv1a(&mut hash, r.comm_start.as_nanos());
+            fnv1a(&mut hash, r.end.as_nanos());
+        }
+    }
+    let stats = sc.sim.stats();
+    fnv1a(&mut hash, stats.delivered);
+    fnv1a(&mut hash, stats.dropped);
+    fnv1a(&mut hash, sc.sim.now().as_nanos());
+    println!("{hash:016x}");
+}

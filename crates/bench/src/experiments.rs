@@ -3,13 +3,14 @@
 //! scenario, so every consumer measures exactly the same system.
 
 use crate::default_noise;
+use mltcp_netsim::fault::GilbertElliott;
 use mltcp_netsim::link::Bandwidth;
 use mltcp_netsim::time::{SimDuration, SimTime};
 use mltcp_sched::cassini;
 use mltcp_sched::pfabric::apply_pfabric;
 use mltcp_workload::job::JobSpec;
 use mltcp_workload::models;
-use mltcp_workload::scenario::{CongestionSpec, Scenario, ScenarioBuilder};
+use mltcp_workload::scenario::{CongestionSpec, LinkFault, Scenario, ScenarioBuilder};
 use mltcp_workload::stats::JobReport;
 
 /// The pacing factor used by the enforced-Cassini runs: planned periods
@@ -51,11 +52,7 @@ pub fn gpt2_jobs(scale: f64, iters: u32, n: usize) -> Vec<JobSpec> {
 /// Builds a synchronized-start scenario with one congestion control for
 /// all jobs.
 pub fn uniform_scenario(seed: u64, jobs: Vec<JobSpec>, cc: CongestionSpec) -> Scenario {
-    let mut b = ScenarioBuilder::new(seed);
-    for j in jobs {
-        b = b.job(j, cc.clone());
-    }
-    b.build()
+    uniform_builder(seed, jobs, cc).build()
 }
 
 /// Builds the enforced-Cassini scenario: the centralized optimizer picks
@@ -77,6 +74,47 @@ pub fn cassini_scenario(seed: u64, jobs: Vec<JobSpec>) -> Scenario {
         b = b.job(j, CongestionSpec::Reno);
     }
     b.build()
+}
+
+/// Builds the *static*-Cassini scenario: the centralized optimizer picks
+/// communication offsets once, but — unlike [`cassini_scenario`] — no
+/// pacing enforces the plan afterwards. Jobs free-run from their planned
+/// offsets on plain Reno.
+///
+/// This is the honest "plan is not recomputed" baseline for fault
+/// experiments: a paced plan is phase-preserving (jobs re-align to their
+/// grid slots after any perturbation), whereas static offsets random-walk
+/// apart as soon as a fault — or accumulated compute noise — shifts one
+/// job's phase, exactly the failure mode that forces Cassini to replan.
+pub fn cassini_static_scenario(seed: u64, jobs: Vec<JobSpec>) -> Scenario {
+    cassini_static_builder(seed, jobs).build()
+}
+
+/// [`cassini_static_scenario`] as a builder, so callers can append link
+/// faults before `build()`.
+pub fn cassini_static_builder(seed: u64, jobs: Vec<JobSpec>) -> ScenarioBuilder {
+    let rate = models::paper_bottleneck();
+    let periodic: Vec<_> = jobs.iter().map(|j| j.to_periodic(rate)).collect();
+    let sched = cassini::optimize_offsets(&periodic, 240, 8192);
+    let computes: Vec<_> = jobs.iter().map(|j| j.compute_time).collect();
+    let periods: Vec<f64> = periodic.iter().map(|p| p.period).collect();
+    let offsets = cassini::driver_offsets(&sched, &computes, &periods);
+    let mut b = ScenarioBuilder::new(seed);
+    for (mut j, off) in jobs.into_iter().zip(offsets) {
+        j.start_offset = off.mul_f64(CASSINI_PACE_FACTOR);
+        b = b.job(j, CongestionSpec::Reno);
+    }
+    b
+}
+
+/// [`uniform_scenario`] as a builder, so callers can append link faults
+/// before `build()`.
+pub fn uniform_builder(seed: u64, jobs: Vec<JobSpec>, cc: CongestionSpec) -> ScenarioBuilder {
+    let mut b = ScenarioBuilder::new(seed);
+    for j in jobs {
+        b = b.job(j, cc.clone());
+    }
+    b
 }
 
 /// Builds the pFabric scenario: strict-priority bottleneck, remaining-
@@ -108,6 +146,160 @@ pub fn mean_steady_ratio(sc: &Scenario) -> f64 {
 /// The bandwidth at which jobs in this repository are modelled.
 pub fn bottleneck() -> Bandwidth {
     models::paper_bottleneck()
+}
+
+/// One fault class × severity for the recovery experiments — the shared
+/// vocabulary of `exp_fault_recovery` and the chaos integration tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultCase {
+    /// Fault-free control.
+    None,
+    /// Bottleneck hard down for `outage` starting at `at`.
+    LinkFlap {
+        /// Fault onset.
+        at: SimTime,
+        /// Outage length.
+        outage: SimDuration,
+    },
+    /// Bottleneck serialization at `factor` × nominal for `window`.
+    Brownout {
+        /// Fault onset.
+        at: SimTime,
+        /// Window length.
+        window: SimDuration,
+        /// Rate multiplier in (0, 1].
+        factor: f64,
+    },
+    /// Gilbert–Elliott bursty loss on the bottleneck for `window`.
+    BurstyLoss {
+        /// Fault onset.
+        at: SimTime,
+        /// Window length.
+        window: SimDuration,
+        /// The two-state loss model.
+        model: GilbertElliott,
+    },
+    /// Job `job` crashes before iteration `at_iter` and restarts after
+    /// `outage` (checkpoint restore; no iterations lost).
+    JobRestart {
+        /// Index of the job in the mix.
+        job: usize,
+        /// 0-based iteration before which the job pauses.
+        at_iter: u32,
+        /// Downtime before the job resumes.
+        outage: SimDuration,
+    },
+}
+
+impl FaultCase {
+    /// Short label for tables and JSON keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultCase::None => "none",
+            FaultCase::LinkFlap { .. } => "link_flap",
+            FaultCase::Brownout { .. } => "brownout",
+            FaultCase::BurstyLoss { .. } => "bursty_loss",
+            FaultCase::JobRestart { .. } => "job_restart",
+        }
+    }
+
+    /// Builds a faulted scenario from a mix and a plan kind.
+    pub fn scenario(&self, seed: u64, jobs: Vec<JobSpec>, plan: &PlanKind) -> Scenario {
+        self.builder(seed, jobs, plan).build()
+    }
+
+    /// [`FaultCase::scenario`] as a builder, so callers can tweak
+    /// transport knobs (e.g. `max_rto`) before `build()`: job-restart
+    /// faults edit the specs *before* the builder clones them, link
+    /// faults attach to the builder afterwards.
+    pub fn builder(&self, seed: u64, mut jobs: Vec<JobSpec>, plan: &PlanKind) -> ScenarioBuilder {
+        if let FaultCase::JobRestart {
+            job,
+            at_iter,
+            outage,
+        } = *self
+        {
+            jobs[job].restart = Some(mltcp_workload::RestartSpec { at_iter, outage });
+        }
+        let b = match plan {
+            PlanKind::Uniform(cc) => uniform_builder(seed, jobs, cc.clone()),
+            PlanKind::CassiniStatic => cassini_static_builder(seed, jobs),
+        };
+        match *self {
+            FaultCase::None | FaultCase::JobRestart { .. } => b,
+            FaultCase::LinkFlap { at, outage } => b.bottleneck_fault(LinkFault::Down {
+                at,
+                duration: outage,
+            }),
+            FaultCase::Brownout { at, window, factor } => b.bottleneck_fault(LinkFault::Brownout {
+                at,
+                duration: window,
+                factor,
+            }),
+            FaultCase::BurstyLoss { at, window, model } => {
+                b.bottleneck_fault(LinkFault::BurstyLoss {
+                    at,
+                    duration: window,
+                    model,
+                })
+            }
+        }
+    }
+}
+
+/// Which scheduling plan carries the mix in a fault experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanKind {
+    /// Every job runs the same distributed congestion control.
+    Uniform(CongestionSpec),
+    /// Static Cassini offsets, plain Reno, no pacing (not recomputed
+    /// after faults).
+    CassiniStatic,
+}
+
+impl PlanKind {
+    /// Short label for tables and JSON keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlanKind::Uniform(cc) => cc.label(),
+            PlanKind::CassiniStatic => "cassini-static",
+        }
+    }
+}
+
+/// Iterations a duration series needed to re-converge after a fault.
+///
+/// `fault_idx` is the first iteration whose duration could have been
+/// affected. The baseline is the mean of the (up to 5) durations
+/// immediately before it. Both sides are smoothed: the post-fault series
+/// is compared through a trailing 5-iteration mean, so a single noisy
+/// iteration neither triggers nor masks a violation. The answer counts
+/// post-fault iterations up to and including the *last* smoothed point
+/// exceeding `baseline × (1 + rel_tol)`. `Some(0)` = never perturbed
+/// beyond tolerance; `None` = no pre-fault baseline, or still violating
+/// at the end of the series (did not recover within the run).
+pub fn reconverge_after(durations: &[f64], fault_idx: usize, rel_tol: f64) -> Option<usize> {
+    const WINDOW: usize = 5;
+    if fault_idx == 0 || fault_idx >= durations.len() {
+        return None;
+    }
+    let pre = &durations[..fault_idx];
+    let take = pre.len().min(WINDOW);
+    let baseline: f64 = pre[pre.len() - take..].iter().sum::<f64>() / take as f64;
+    let bound = baseline * (1.0 + rel_tol);
+    let mut last_bad = None;
+    for i in fault_idx..durations.len() {
+        let lo = (i + 1).saturating_sub(WINDOW).max(fault_idx);
+        let smoothed: f64 = durations[lo..=i].iter().sum::<f64>() / (i + 1 - lo) as f64;
+        if smoothed > bound {
+            last_bad = Some(i);
+        }
+    }
+    match last_bad {
+        None => Some(0),
+        Some(i) if i + 1 < durations.len() => Some(i + 1 - fault_idx),
+        Some(_) => None,
+    }
 }
 
 /// Everything a figure binary needs from a finished scenario, as plain

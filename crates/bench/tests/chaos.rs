@@ -1,0 +1,175 @@
+//! Chaos integration tests: the fault-recovery claims of the
+//! `exp_fault_recovery` experiment, pinned at test scale with fixed
+//! seeds so CI exercises them on every push.
+//!
+//! The claims:
+//! * **MLTCP self-heals** — after a link flap, a brownout, a bursty-loss
+//!   window, or a job restart, the 4-job mix returns to its fault-free
+//!   steady-state level within a bounded number of iterations;
+//! * **a static Cassini plan does not recover** — the optimizer's
+//!   offsets, applied once and never recomputed, never regain the
+//!   planned (enforced, paced) schedule's quality once noise and faults
+//!   shift the jobs' phases;
+//! * **fault replay is deterministic** — the same fault seed produces a
+//!   byte-identical trace.
+
+use mltcp_bench::experiments::{
+    cassini_scenario, fig2_jobs, mix_deadline, summarize_run, FaultCase, PlanKind,
+};
+use mltcp_netsim::fault::GilbertElliott;
+use mltcp_netsim::time::{SimDuration, SimTime};
+use mltcp_workload::scenario::{CongestionSpec, FnSpec, Scenario};
+
+const SCALE: f64 = 0.005;
+const ITERS: u32 = 40;
+const SEED: u64 = 42;
+
+fn period() -> SimDuration {
+    SimDuration::from_secs_f64(1.8 * SCALE)
+}
+
+fn fault_onset() -> SimTime {
+    SimTime::from_secs_f64(1.8 * SCALE * f64::from(ITERS) * 0.35)
+}
+
+fn fault_classes() -> Vec<FaultCase> {
+    vec![
+        FaultCase::LinkFlap {
+            at: fault_onset(),
+            outage: period().mul_f64(1.5),
+        },
+        FaultCase::Brownout {
+            at: fault_onset(),
+            window: period().mul_f64(4.0),
+            factor: 0.25,
+        },
+        FaultCase::BurstyLoss {
+            at: fault_onset(),
+            window: period().mul_f64(3.0),
+            model: GilbertElliott::bursty(0.08, 0.25, 0.4),
+        },
+        FaultCase::JobRestart {
+            job: 0,
+            at_iter: ITERS / 3,
+            outage: period(),
+        },
+    ]
+}
+
+fn run(case: &FaultCase, plan: &PlanKind) -> Scenario {
+    let mut sc = case
+        .builder(SEED, fig2_jobs(SCALE, ITERS), plan)
+        .max_rto(period())
+        .build();
+    sc.run(mix_deadline(SCALE, ITERS));
+    assert!(
+        sc.all_finished(),
+        "{}/{}: jobs did not finish",
+        case.label(),
+        plan.label()
+    );
+    sc
+}
+
+#[test]
+fn mltcp_reconverges_after_every_fault_class() {
+    let mltcp = PlanKind::Uniform(CongestionSpec::MltcpReno(FnSpec::Paper));
+    // Fault-free reference: where MLTCP's own feedback loop settles.
+    let clean = summarize_run(&run(&FaultCase::None, &mltcp)).mean_steady_ratio;
+    for case in fault_classes() {
+        let sc = run(&case, &mltcp);
+        let post = summarize_run(&sc).mean_steady_ratio;
+        // Self-healing: the tail of the faulted run is back at the
+        // fault-free steady level (±5%) — the fault did not leave the
+        // mix stuck in a degraded interleaving.
+        assert!(
+            post <= clean * 1.05,
+            "{}: post-fault steady ratio {post:.4} vs fault-free {clean:.4}",
+            case.label()
+        );
+        // And every job actually completed all its iterations despite
+        // the fault (no wedged sender, no lost transfer).
+        for i in 0..sc.jobs.len() {
+            assert_eq!(
+                sc.stats(i).len(),
+                ITERS as usize,
+                "{}: job {i} lost iterations",
+                case.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn restarted_job_reinterleaves_within_bounded_iterations() {
+    let mltcp = PlanKind::Uniform(CongestionSpec::MltcpReno(FnSpec::Paper));
+    let case = FaultCase::JobRestart {
+        job: 0,
+        at_iter: ITERS / 3,
+        outage: period(),
+    };
+    let sc = run(&case, &mltcp);
+    let (idx, _) = sc.restart_resume(0).expect("restart fired");
+    assert_eq!(idx, ITERS / 3);
+    // The restarted job itself re-interleaves: smoothed durations back
+    // within 10% of its pre-fault level before the run ends, with room
+    // to spare.
+    let reconv = sc
+        .iterations_to_reinterleave(0, 0.10)
+        .expect("restarted job re-interleaved before the run ended");
+    assert!(
+        reconv <= (ITERS - ITERS / 3) - 5,
+        "re-interleave took {reconv} iterations"
+    );
+}
+
+#[test]
+fn static_cassini_plan_does_not_recover_planned_quality() {
+    // What the plan promises when enforced (paced) and fault-free.
+    let planned = {
+        let mut sc = cassini_scenario(SEED, fig2_jobs(SCALE, ITERS));
+        sc.run(mix_deadline(SCALE, ITERS));
+        assert!(sc.all_finished());
+        summarize_run(&sc).mean_steady_ratio
+    };
+    // The static (never-recomputed) offsets never regain planned quality
+    // after any fault shifts the jobs' phases: the tail stays measurably
+    // above the enforced schedule's level.
+    for case in fault_classes() {
+        let post = summarize_run(&run(&case, &PlanKind::CassiniStatic)).mean_steady_ratio;
+        assert!(
+            post > planned * 1.02,
+            "{}: static plan at {post:.4} unexpectedly matched enforced plan {planned:.4}",
+            case.label()
+        );
+    }
+}
+
+#[test]
+fn faulted_runs_replay_byte_identically() {
+    let mltcp = PlanKind::Uniform(CongestionSpec::MltcpReno(FnSpec::Paper));
+    for case in fault_classes() {
+        let a = run(&case, &mltcp);
+        let b = run(&case, &mltcp);
+        for i in 0..a.jobs.len() {
+            assert_eq!(
+                a.stats(i).durations(),
+                b.stats(i).durations(),
+                "{}: job {i} trace diverged across identical replays",
+                case.label()
+            );
+            assert_eq!(
+                a.comm_starts_secs(i),
+                b.comm_starts_secs(i),
+                "{}: job {i} comm starts diverged",
+                case.label()
+            );
+        }
+        assert_eq!(
+            a.sim.stats().dropped,
+            b.sim.stats().dropped,
+            "{}: drop counts diverged",
+            case.label()
+        );
+    }
+}

@@ -9,9 +9,13 @@
 //! so completion order must be the only nondeterminism, and the
 //! input-order collection erases it.
 
-use mltcp_bench::experiments::{gpt2_jobs, mean_steady_ratio, mix_deadline, uniform_scenario};
+use mltcp_bench::experiments::{
+    gpt2_jobs, mean_steady_ratio, mix_deadline, uniform_scenario, FaultCase, PlanKind,
+};
 use mltcp_bench::json::Json;
-use mltcp_workload::scenario::{CongestionSpec, FnSpec};
+use mltcp_netsim::fault::GilbertElliott;
+use mltcp_netsim::time::{SimDuration, SimTime};
+use mltcp_workload::scenario::{CongestionSpec, FnSpec, LinkFault};
 use mltcp_workload::SweepRunner;
 
 const SCALE: f64 = 0.002;
@@ -75,5 +79,86 @@ fn parallel_sweep_output_is_byte_identical_to_sequential() {
     assert_eq!(
         sequential, par8,
         "8-worker sweep output diverged from sequential"
+    );
+}
+
+/// The same sweep-determinism contract on a *faulted* scenario: link
+/// flap + bursty-loss window + a job restart, all seeded from the run's
+/// seed. Fault injection draws loss from per-link RNG streams and
+/// replays scheduled faults through the event queue, so worker count
+/// must not leak into the trace.
+fn faulted_sweep_json(threads: usize) -> String {
+    let period = SimDuration::from_secs_f64(1.8 * SCALE);
+    let at = SimTime::from_secs_f64(1.8 * SCALE * 2.0);
+    let seeds: Vec<u64> = (0..8).map(|i| 42 + 7 * i).collect();
+    let results = SweepRunner::with_threads(threads).run(&seeds, |_, &sd| {
+        let restart = FaultCase::JobRestart {
+            job: 0,
+            at_iter: ITERS / 2,
+            outage: period.mul_f64(0.5),
+        };
+        let mut sc = restart
+            .builder(
+                sd,
+                gpt2_jobs(SCALE, ITERS, 2),
+                &PlanKind::Uniform(CongestionSpec::MltcpReno(FnSpec::Paper)),
+            )
+            .max_rto(period)
+            .bottleneck_fault(LinkFault::Down {
+                at,
+                duration: period.mul_f64(0.25),
+            })
+            .bottleneck_fault(LinkFault::BurstyLoss {
+                at: at + period,
+                duration: period,
+                model: GilbertElliott::bursty(0.05, 0.3, 0.4),
+            })
+            .build();
+        sc.run(mix_deadline(SCALE, ITERS));
+        assert!(sc.all_finished(), "seed {sd}: faulted jobs did not finish");
+        let per_job: Vec<Vec<f64>> = (0..sc.jobs.len())
+            .map(|i| sc.stats(i).durations().to_vec())
+            .collect();
+        (sd, mean_steady_ratio(&sc), per_job)
+    });
+
+    Json::Arr(
+        results
+            .iter()
+            .map(|(sd, ratio, per_job)| {
+                Json::obj([
+                    ("seed", Json::Num(*sd as f64)),
+                    ("mean_steady_ratio", Json::Num(*ratio)),
+                    (
+                        "iteration_secs",
+                        Json::Arr(
+                            per_job
+                                .iter()
+                                .map(|d| Json::nums(d.iter().copied()))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+    .to_string_pretty()
+}
+
+#[test]
+fn faulted_sweep_output_is_byte_identical_across_worker_counts() {
+    let sequential = faulted_sweep_json(1);
+    assert!(sequential.contains("mean_steady_ratio"));
+    assert!(sequential.len() > 1000, "suspiciously small sweep output");
+
+    let par4 = faulted_sweep_json(4);
+    assert_eq!(
+        sequential, par4,
+        "4-worker faulted sweep output diverged from sequential"
+    );
+    let par8 = faulted_sweep_json(8);
+    assert_eq!(
+        sequential, par8,
+        "8-worker faulted sweep output diverged from sequential"
     );
 }

@@ -98,9 +98,24 @@ impl IterationTracker {
     /// training iteration. Note the reset happens *before* the current
     /// ack's bytes are counted toward the new iteration.
     pub fn on_ack(&mut self, now: Nanos, acked_bytes: u64) -> f64 {
+        self.on_ack_hinted(now, acked_bytes, false)
+    }
+
+    /// [`IterationTracker::on_ack`] with a loss-recovery hint.
+    ///
+    /// When `loss_recovery_gap` is true, the silence preceding this ack
+    /// was a retransmission blackout (the transport fired ≥ 1 RTO while
+    /// data was outstanding), not a compute phase — the iteration cannot
+    /// have ended, because un-acked bytes of it are still in the pipe. A
+    /// blackout longer than `COMP_TIME` would otherwise be misread as an
+    /// iteration boundary and spuriously reset `bytes_ratio` to 0,
+    /// throttling the flow (via `F(0)`) exactly when it is trying to
+    /// recover. Bytes still accumulate and the gap clock still advances.
+    pub fn on_ack_hinted(&mut self, now: Nanos, acked_bytes: u64, loss_recovery_gap: bool) -> f64 {
         let boundary = match self.prev_ack_tstamp {
             Some(prev) => {
-                now.saturating_sub(prev) > self.config.comp_time_threshold
+                !loss_recovery_gap
+                    && now.saturating_sub(prev) > self.config.comp_time_threshold
                     && self.bytes_sent >= self.config.min_bytes_for_reset
             }
             None => false,
@@ -193,13 +208,27 @@ impl AutoTuner {
     /// Feeds one ack observation. Returns `Some(config)` exactly once, at
     /// the moment enough complete bursts have been observed.
     pub fn on_ack(&mut self, now: Nanos, acked_bytes: u64) -> Option<TrackerConfig> {
+        self.on_ack_hinted(now, acked_bytes, false)
+    }
+
+    /// [`AutoTuner::on_ack`] with a loss-recovery hint: a silence caused
+    /// by a retransmission blackout is neither a burst boundary nor a
+    /// compute-phase sample, so it must not contaminate the learned
+    /// `total_bytes` / `comp_time_threshold` (the burst keeps
+    /// accumulating across the outage).
+    pub fn on_ack_hinted(
+        &mut self,
+        now: Nanos,
+        acked_bytes: u64,
+        loss_recovery_gap: bool,
+    ) -> Option<TrackerConfig> {
         if self.locked.is_some() {
             self.prev_ack_tstamp = Some(now);
             return None;
         }
         if let Some(prev) = self.prev_ack_tstamp {
             let gap = now.saturating_sub(prev);
-            if gap > self.min_gap {
+            if gap > self.min_gap && !loss_recovery_gap {
                 // Burst ended at `prev`; record it and the silence.
                 if self.current_burst_bytes > 0 {
                     self.burst_sizes.push(self.current_burst_bytes);
@@ -324,6 +353,71 @@ mod tests {
         let r = t.on_ack(300 * MS, 1_000);
         assert_eq!(r, 0.1);
         assert_eq!(t.iterations_seen(), 1);
+    }
+
+    /// Regression: a retransmission-storm ack gap (an RTO blackout longer
+    /// than `COMP_TIME`) must not reset `bytes_sent` mid-iteration when
+    /// the transport flags it as loss recovery.
+    #[test]
+    fn loss_recovery_gap_does_not_reset_mid_iteration() {
+        let cfg = TrackerConfig::oracle(10_000, 50 * MS);
+        let mut hinted = IterationTracker::new(cfg);
+        hinted.on_ack(0, 4_000);
+        assert_eq!(hinted.bytes_ratio(), 0.4);
+        // A 400 ms blackout (8× the threshold), then the first good ack
+        // after recovery arrives flagged: the iteration continues.
+        let r = hinted.on_ack_hinted(400 * MS, 2_000, true);
+        assert_eq!(r, 0.6);
+        assert_eq!(hinted.bytes_sent(), 6_000);
+        assert_eq!(hinted.iterations_seen(), 0);
+        // The same gap WITHOUT the hint is (mis)read as a boundary —
+        // exactly the spurious reset the hint guards against.
+        let mut unhinted = IterationTracker::new(cfg);
+        unhinted.on_ack(0, 4_000);
+        let r = unhinted.on_ack(400 * MS, 2_000);
+        assert_eq!(r, 0.2);
+        assert_eq!(unhinted.iterations_seen(), 1);
+        // A genuine compute gap after recovery still resets the hinted
+        // tracker normally.
+        hinted.on_ack(401 * MS, 4_000);
+        assert_eq!(hinted.bytes_ratio(), 1.0);
+        let r = hinted.on_ack(600 * MS, 1_000);
+        assert_eq!(r, 0.1);
+        assert_eq!(hinted.iterations_seen(), 1);
+    }
+
+    /// The auto-tuner must not record a blackout silence as a compute
+    /// gap, nor split the interrupted burst in two.
+    #[test]
+    fn autotuner_ignores_loss_recovery_gaps() {
+        let run = |blackout: bool| {
+            let mut at = AutoTuner::new(2 * MS, 3);
+            let mut learned = None;
+            let mut now = 0;
+            for burst in 0..4 {
+                for i in 0..10 {
+                    if burst == 1 && i == 5 && blackout {
+                        // 30 ms RTO silence mid-burst; the next ack is
+                        // flagged as loss recovery.
+                        now += 30 * MS;
+                        if let Some(cfg) = at.on_ack_hinted(now, 1500, true) {
+                            learned = Some(cfg);
+                        }
+                    } else if let Some(cfg) = at.on_ack(now, 1500) {
+                        learned = Some(cfg);
+                    }
+                    now += 100_000;
+                }
+                now += 100 * MS;
+            }
+            learned.expect("locks after 3 complete bursts")
+        };
+        let clean = run(false);
+        let faulted = run(true);
+        // Same burst size learned; the blackout neither halves a burst
+        // nor injects a 30 ms "compute gap" sample.
+        assert_eq!(faulted.total_bytes, clean.total_bytes);
+        assert!(faulted.comp_time_threshold > 40 * MS);
     }
 
     #[test]

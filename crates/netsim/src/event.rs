@@ -26,17 +26,32 @@ use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// A packet in flight: the payload of [`EventKind::Deliver`].
+///
+/// Besides the packet itself, a delivery remembers which channel carried
+/// it (`via`) and that channel's incarnation (`epoch`) at serialization
+/// time, so fault injection can cut packets that were on the wire when a
+/// link went down: the arrival handler drops any delivery whose stamped
+/// epoch no longer matches the channel's. Host-local sends use
+/// [`LinkId::NONE`] and are never cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Receiving node.
+    pub node: NodeId,
+    /// The channel the packet crossed ([`LinkId::NONE`] for local sends).
+    pub via: LinkId,
+    /// The channel's epoch when serialization started.
+    pub epoch: u32,
+    /// The packet.
+    pub pkt: Packet,
+}
+
 /// What happens when an event fires.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EventKind {
-    /// A packet finishes propagation and arrives at `node`.
-    Deliver {
-        /// Receiving node.
-        node: NodeId,
-        /// The packet (boxed to keep [`Event`] small; the simulator pools
-        /// and reuses the allocations).
-        pkt: Box<Packet>,
-    },
+    /// A packet finishes propagation and arrives (boxed to keep
+    /// [`Event`] small; the simulator pools and reuses the allocations).
+    Deliver(Box<Delivery>),
     /// A directed channel finishes serializing its current packet and may
     /// start the next one.
     ChannelIdle {
@@ -60,6 +75,12 @@ pub enum EventKind {
         from: u32,
         /// Opaque payload.
         token: u64,
+    },
+    /// An installed fault fires; `index` points into the simulator's
+    /// fault table (see [`crate::fault::FaultPlan`]).
+    Fault {
+        /// Index into the simulator's installed-fault table.
+        index: u32,
     },
 }
 

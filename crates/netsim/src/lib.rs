@@ -24,6 +24,8 @@
 //!   (pFabric-style), and multi-level feedback (PIAS-style).
 //! * [`link`] — directed channels with rate, propagation delay, optional
 //!   Bernoulli loss, and byte counters.
+//! * [`fault`] — deterministic fault injection: scheduled link down/up,
+//!   bandwidth brownouts, and Gilbert–Elliott bursty loss.
 //! * [`node`] — hosts and switches with static routing tables.
 //! * [`topology`] — builders (notably the paper's dumbbell) and BFS route
 //!   computation.
@@ -74,6 +76,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod link;
 pub mod node;
 pub mod packet;
@@ -86,6 +89,7 @@ pub mod trace;
 
 /// Convenient glob-import of the simulator surface.
 pub mod prelude {
+    pub use crate::fault::{FaultAction, FaultPlan, GilbertElliott, LossModel};
     pub use crate::link::{Bandwidth, LinkId, LinkSpec};
     pub use crate::node::NodeId;
     pub use crate::packet::{EcnCodepoint, FlowId, Packet, SegmentHeader};

@@ -14,6 +14,10 @@ use serde::{Deserialize, Serialize};
 pub struct LinkId(pub u32);
 
 impl LinkId {
+    /// Sentinel for "no link": used to tag deliveries that never crossed
+    /// a channel (host-local sends), which fault injection must not cut.
+    pub const NONE: LinkId = LinkId(u32::MAX);
+
     /// The index as `usize` for table lookups.
     pub fn index(self) -> usize {
         self.0 as usize
@@ -109,6 +113,18 @@ pub struct Channel {
     pub spec: LinkSpec,
     /// Whether the serializer is currently sending a packet.
     pub busy: bool,
+    /// Whether the channel is operational. While `false` (fault
+    /// injection: [`crate::fault::FaultAction::LinkDown`]) egress is
+    /// blocked and arriving traffic queues behind the outage.
+    pub up: bool,
+    /// Incarnation counter, bumped every time the channel goes down.
+    /// Deliveries are stamped with the epoch at serialization time; a
+    /// mismatch at arrival means the packet was on the wire when the
+    /// link was cut, so it is dropped.
+    pub epoch: u32,
+    /// Effective-rate multiplier (fault injection: a brownout sets
+    /// `< 1.0`). Serialization time scales by `1 / rate_factor`.
+    pub rate_factor: f64,
     /// Cumulative bytes that completed serialization.
     pub bytes_sent: u64,
     /// Cumulative packets that completed serialization.
@@ -127,15 +143,24 @@ impl Channel {
             to,
             spec,
             busy: false,
+            up: true,
+            epoch: 0,
+            rate_factor: 1.0,
             bytes_sent: 0,
             packets_sent: 0,
             packets_dropped: 0,
         }
     }
 
-    /// Serialization time for a packet of `bytes` on this channel.
+    /// Serialization time for a packet of `bytes` on this channel at the
+    /// current effective rate (provisioned rate × `rate_factor`).
     pub fn tx_time(&self, bytes: u32) -> SimDuration {
-        self.spec.rate.tx_time(bytes)
+        let base = self.spec.rate.tx_time(bytes);
+        if self.rate_factor == 1.0 {
+            base
+        } else {
+            SimDuration((base.as_nanos() as f64 / self.rate_factor).ceil() as u64)
+        }
     }
 }
 

@@ -120,6 +120,19 @@ impl SimRng {
     pub fn fork(&mut self) -> SimRng {
         SimRng::new(self.next_u64())
     }
+
+    /// A pure function of `(seed, stream)`: derives an independent
+    /// generator for a numbered stream without consuming any state.
+    ///
+    /// The simulator gives each directed channel its own loss stream
+    /// (`for_stream(seed, link_index)`), so which packets a lossy link
+    /// drops depends only on that link's packet sequence — never on the
+    /// global event interleaving or on traffic elsewhere.
+    pub fn for_stream(seed: u64, stream: u64) -> SimRng {
+        let mut sm = seed;
+        let base = splitmix64(&mut sm);
+        SimRng::new(base ^ stream.wrapping_mul(0xA076_1D64_78BD_642F).wrapping_add(1))
+    }
 }
 
 #[cfg(test)]

@@ -20,7 +20,8 @@
 //!   flow.
 //! * All ties are broken deterministically (see [`crate::event`]).
 
-use crate::event::{EventKind, EventQueue};
+use crate::event::{Delivery, EventKind, EventQueue};
+use crate::fault::{FaultAction, FaultPlan, LossModel, LossState};
 use crate::link::LinkId;
 use crate::node::{NodeId, NodeKind};
 use crate::packet::{FlowId, Packet};
@@ -91,34 +92,50 @@ struct SimCore {
     /// when tracing is off for that link (the common case).
     traces: Vec<Option<BandwidthTrace>>,
     rng: SimRng,
+    /// Per-link loss process state, indexed by `LinkId::index()`.
+    /// Initialized from each spec's Bernoulli probability; fault
+    /// injection may swap in a different model mid-run.
+    loss: Vec<LossState>,
+    /// Per-link RNG streams for loss draws (pure functions of
+    /// `(seed, link_index)`), so one link's drop pattern is independent
+    /// of the global event interleaving and of traffic elsewhere.
+    link_rngs: Vec<SimRng>,
+    /// Installed fault actions, indexed by `EventKind::Fault::index`.
+    faults: Vec<FaultAction>,
     /// Per-node flow dispatch table, indexed by `NodeId::index()`:
     /// which agent receives packets of a given flow at this host.
     flow_tables: Vec<Vec<(FlowId, AgentId)>>,
     agent_hosts: Vec<NodeId>,
     /// Free list of recycled `Deliver` payload boxes; bounded by the
     /// peak number of in-flight deliveries. The boxes are the resource
-    /// being pooled — `Deliver` stores `Box<Packet>` to keep `Event`
+    /// being pooled — `Deliver` stores `Box<Delivery>` to keep `Event`
     /// small, and this list lets it reuse those allocations.
     #[allow(clippy::vec_box)]
-    pkt_pool: Vec<Box<Packet>>,
+    pkt_pool: Vec<Box<Delivery>>,
     stats: SimStats,
 }
 
 impl SimCore {
     /// Wraps a packet for a `Deliver` event, reusing a pooled box when
     /// one is free.
-    fn boxed(&mut self, pkt: Packet) -> Box<Packet> {
+    fn boxed(&mut self, node: NodeId, via: LinkId, epoch: u32, pkt: Packet) -> Box<Delivery> {
+        let d = Delivery {
+            node,
+            via,
+            epoch,
+            pkt,
+        };
         match self.pkt_pool.pop() {
             Some(mut b) => {
-                *b = pkt;
+                *b = d;
                 b
             }
-            None => Box::new(pkt),
+            None => Box::new(d),
         }
     }
 
     /// Returns a delivered packet's box to the pool.
-    fn recycle(&mut self, b: Box<Packet>) {
+    fn recycle(&mut self, b: Box<Delivery>) {
         self.pkt_pool.push(b);
     }
 
@@ -149,9 +166,14 @@ impl SimCore {
         }
     }
 
-    /// Begins serializing the next queued packet, if any.
+    /// Begins serializing the next queued packet, if any. A downed
+    /// channel blocks here (egress stalls until `LinkUp` kicks it).
     fn start_tx(&mut self, link: LinkId) {
         let li = link.index();
+        if !self.topo.channels[li].up {
+            self.topo.channels[li].busy = false;
+            return;
+        }
         let Some(pkt) = self.queues[li].dequeue() else {
             self.topo.channels[li].busy = false;
             return;
@@ -164,18 +186,63 @@ impl SimCore {
         ch.bytes_sent += u64::from(pkt.wire_bytes);
         ch.packets_sent += 1;
         let to = ch.to;
-        let loss_p = ch.spec.loss_probability;
+        let epoch = ch.epoch;
         if let Some(trace) = self.traces[li].as_mut() {
             trace.record(done, pkt.flow, pkt.wire_bytes);
         }
         self.events.schedule(done, EventKind::ChannelIdle { link });
-        if loss_p > 0.0 && pkt.is_data() && self.rng.chance(loss_p) {
+        // Loss applies to every packet — acks included: a lossy wire does
+        // not know about TCP semantics. Draws come from the link's own
+        // stream so drop patterns are interleaving-independent.
+        if self.loss[li].drops_packet(&mut self.link_rngs[li]) {
             self.stats.dropped += 1;
             self.topo.channels[li].packets_dropped += 1;
         } else {
-            let pkt = self.boxed(pkt);
-            self.events
-                .schedule(arrival, EventKind::Deliver { node: to, pkt });
+            let d = self.boxed(to, link, epoch, pkt);
+            self.events.schedule(arrival, EventKind::Deliver(d));
+        }
+    }
+
+    /// Applies one installed fault action.
+    fn apply_fault(&mut self, index: usize) {
+        match self.faults[index] {
+            FaultAction::LinkDown { link } => {
+                let li = link.index();
+                let ch = &mut self.topo.channels[li];
+                if ch.up {
+                    ch.up = false;
+                    // Cut packets on the wire: their stamped epoch no
+                    // longer matches, so arrival drops them.
+                    ch.epoch = ch.epoch.wrapping_add(1);
+                }
+                // Queued packets die with the link.
+                let mut drained = 0u64;
+                while self.queues[li].dequeue().is_some() {
+                    drained += 1;
+                }
+                self.stats.dropped += drained;
+                self.topo.channels[li].packets_dropped += drained;
+            }
+            FaultAction::LinkUp { link } => {
+                let li = link.index();
+                self.topo.channels[li].up = true;
+                // Resume egress for traffic that queued during the
+                // outage (unless a doomed serialization is still
+                // pending, in which case its ChannelIdle resumes us).
+                if !self.topo.channels[li].busy {
+                    self.start_tx(link);
+                }
+            }
+            FaultAction::SetRateFactor { link, factor } => {
+                self.topo.channels[link.index()].rate_factor = factor.max(1e-6);
+            }
+            FaultAction::SetLoss { link, model } => {
+                self.loss[link.index()] = LossState::new(model);
+            }
+            FaultAction::RestoreLoss { link } => {
+                let p = self.topo.channels[link.index()].spec.loss_probability;
+                self.loss[link.index()] = LossState::new(LossModel::Bernoulli(p));
+            }
         }
     }
 
@@ -219,10 +286,8 @@ impl AgentCtx<'_> {
         let host = self.node();
         if pkt.dst == host {
             let at = self.core.now;
-            let pkt = self.core.boxed(pkt);
-            self.core
-                .events
-                .schedule(at, EventKind::Deliver { node: host, pkt });
+            let d = self.core.boxed(host, LinkId::NONE, 0, pkt);
+            self.core.events.schedule(at, EventKind::Deliver(d));
             return;
         }
         self.core.forward(host, pkt);
@@ -286,6 +351,14 @@ impl Simulator {
         let queues: Vec<_> = topo.channels.iter().map(|c| c.spec.queue.build()).collect();
         let traces = (0..topo.channels.len()).map(|_| None).collect();
         let flow_tables = vec![Vec::new(); topo.nodes.len()];
+        let loss = topo
+            .channels
+            .iter()
+            .map(|c| LossState::new(LossModel::Bernoulli(c.spec.loss_probability)))
+            .collect();
+        let link_rngs = (0..topo.channels.len())
+            .map(|i| SimRng::for_stream(seed, i as u64))
+            .collect();
         Self {
             core: SimCore {
                 now: SimTime::ZERO,
@@ -294,6 +367,9 @@ impl Simulator {
                 queues,
                 traces,
                 rng: SimRng::new(seed),
+                loss,
+                link_rngs,
+                faults: Vec::new(),
                 flow_tables,
                 agent_hosts: Vec::new(),
                 pkt_pool: Vec::new(),
@@ -332,6 +408,18 @@ impl Simulator {
         match table.iter_mut().find(|(f, _)| *f == flow) {
             Some(entry) => entry.1 = agent,
             None => table.push((flow, agent)),
+        }
+    }
+
+    /// Installs a fault plan: every scheduled action becomes an event in
+    /// the deterministic queue, so faults interleave with packet events
+    /// reproducibly. May be called multiple times (plans accumulate) and
+    /// at any point before the faults' times are reached.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        for f in &plan.faults {
+            let index = self.core.faults.len() as u32;
+            self.core.faults.push(f.action);
+            self.core.events.schedule(f.at, EventKind::Fault { index });
         }
     }
 
@@ -424,11 +512,21 @@ impl Simulator {
             EventKind::ChannelIdle { link } => {
                 self.core.start_tx(link);
             }
-            EventKind::Deliver { node, pkt } => {
-                // Copy the packet out and recycle its box before any
+            EventKind::Deliver(d) => {
+                // Copy the delivery out and recycle its box before any
                 // handler runs, so the pool is warm for re-sends.
-                let p = *pkt;
-                self.core.recycle(pkt);
+                let dv = *d;
+                self.core.recycle(d);
+                // A stale epoch means the carrying link went down after
+                // serialization began: the packet was cut on the wire.
+                if dv.via != LinkId::NONE
+                    && self.core.topo.channels[dv.via.index()].epoch != dv.epoch
+                {
+                    self.core.stats.dropped += 1;
+                    self.core.topo.channels[dv.via.index()].packets_dropped += 1;
+                    return;
+                }
+                let (node, p) = (dv.node, dv.pkt);
                 match self.core.topo.nodes[node.index()].kind {
                     NodeKind::Switch => self.core.forward(node, p),
                     NodeKind::Host => match self.core.bound_agent(p.flow, node) {
@@ -451,6 +549,9 @@ impl Simulator {
                 self.with_agent(to as usize, |a, ctx| {
                     a.on_message(ctx, AgentId(from as usize), token)
                 });
+            }
+            EventKind::Fault { index } => {
+                self.core.apply_fault(index as usize);
             }
         }
     }
@@ -619,7 +720,7 @@ mod tests {
     }
 
     #[test]
-    fn random_loss_drops_data_but_not_acks() {
+    fn random_loss_applies_to_data_and_acks() {
         let (mut sim, h0, h1) = two_host_sim(Bandwidth::gbps(10), SimDuration::micros(5), 0.5);
         let flow = FlowId(1);
         let pinger = sim.add_agent(
@@ -636,11 +737,235 @@ mod tests {
         sim.bind_flow(flow, pinger);
         sim.bind_flow(flow, echoer);
         sim.run();
+        let got = u64::from(sim.agent::<Pinger>(pinger).echoes);
+        let delivered_data = sim.agent::<Echoer>(echoer).received / 1500;
+        // Each round trip crosses the lossy wire twice (p = .5 per
+        // crossing, acks included): ~100 data arrivals, ~50 echoes.
+        assert!((60..140).contains(&delivered_data), "data={delivered_data}");
+        assert!((25..80).contains(&got), "echoes={got}");
+        // Some acks must have been lost on the way back.
+        assert!(got < delivered_data, "echoes={got} data={delivered_data}");
+    }
+
+    /// Drop patterns on a link depend only on that link's own packet
+    /// sequence: adding traffic on a *different* link (which perturbs the
+    /// global event interleaving) must not change which packets drop.
+    #[test]
+    fn loss_draws_are_per_link() {
+        let run = |with_cross_traffic: bool| -> u32 {
+            // A star: h0→sw is the measured lossy link; h2→sw is a
+            // *different* lossy link whose draws must not perturb it.
+            let mut b = TopologyBuilder::new();
+            let h0 = b.host("h0");
+            let h1 = b.host("h1");
+            let h2 = b.host("h2");
+            let h3 = b.host("h3");
+            let sw = b.switch("sw");
+            let spec = LinkSpec::new(Bandwidth::gbps(10), SimDuration::micros(5));
+            b.directed(h0, sw, spec.with_loss(0.3));
+            b.directed(sw, h0, spec);
+            b.link(h1, sw, spec);
+            b.directed(h2, sw, spec.with_loss(0.5));
+            b.directed(sw, h2, spec);
+            b.link(h3, sw, spec);
+            let mut sim = Simulator::new(b.build().unwrap(), 123);
+            let flow = FlowId(1);
+            let pinger = sim.add_agent(
+                h0,
+                Pinger {
+                    peer: h1,
+                    flow,
+                    pkts: 300,
+                    echoes: 0,
+                    last_echo_at: SimTime::ZERO,
+                },
+            );
+            let echoer = sim.add_agent(h1, Echoer { received: 0 });
+            sim.bind_flow(flow, pinger);
+            sim.bind_flow(flow, echoer);
+            if with_cross_traffic {
+                let flow2 = FlowId(2);
+                let p2 = sim.add_agent(
+                    h2,
+                    Pinger {
+                        peer: h3,
+                        flow: flow2,
+                        pkts: 250,
+                        echoes: 0,
+                        last_echo_at: SimTime::ZERO,
+                    },
+                );
+                let e2 = sim.add_agent(h3, Echoer { received: 0 });
+                sim.bind_flow(flow2, p2);
+                sim.bind_flow(flow2, e2);
+            }
+            sim.run();
+            sim.agent::<Pinger>(pinger).echoes
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    use crate::fault::{FaultPlan, GilbertElliott, LossModel};
+
+    fn pingpong_with_plan(plan: &FaultPlan, pkts: u32) -> (Simulator, AgentId, AgentId) {
+        let (mut sim, h0, h1) = two_host_sim(Bandwidth::gbps(1), SimDuration::micros(5), 0.0);
+        let flow = FlowId(1);
+        let pinger = sim.add_agent(
+            h0,
+            Pinger {
+                peer: h1,
+                flow,
+                pkts,
+                echoes: 0,
+                last_echo_at: SimTime::ZERO,
+            },
+        );
+        let echoer = sim.add_agent(h1, Echoer { received: 0 });
+        sim.bind_flow(flow, pinger);
+        sim.bind_flow(flow, echoer);
+        sim.install_faults(plan);
+        sim.run();
+        (sim, pinger, echoer)
+    }
+
+    #[test]
+    fn link_down_cuts_wire_and_queue_up_resumes() {
+        // 1540 B at 1 Gbps = 12.32 µs per packet; 20 packets are sent at
+        // t = 0. Down at 30 µs: packets 0–1 delivered, the serializing
+        // third is cut mid-flight, the rest are drained from the queue.
+        let l = LinkId(0);
+        let plan =
+            FaultPlan::new().link_flap(l, SimTime::from_secs_f64(30e-6), SimDuration::millis(1));
+        let (sim, pinger, echoer) = pingpong_with_plan(&plan, 20);
+        assert_eq!(sim.agent::<Pinger>(pinger).echoes, 2);
+        assert_eq!(sim.agent::<Echoer>(echoer).received, 2 * 1500);
+        // 18 lost: 17 drained + 1 cut on the wire.
+        assert_eq!(sim.topology().channels[0].packets_dropped, 18);
+        assert!(sim.topology().channels[0].up);
+    }
+
+    #[test]
+    fn traffic_queued_during_outage_flows_after_repair() {
+        struct LateSender {
+            peer: NodeId,
+            flow: FlowId,
+        }
+        impl Agent for LateSender {
+            fn start(&mut self, ctx: &mut AgentCtx<'_>) {
+                // Send while the link is down (armed below at 50 µs).
+                ctx.set_timer(SimDuration::micros(50), 1);
+            }
+            fn on_packet(&mut self, _ctx: &mut AgentCtx<'_>, _pkt: Packet) {}
+            fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, _token: u64) {
+                let me = ctx.node();
+                for i in 0..3u64 {
+                    ctx.send(Packet::data(self.flow, me, self.peer, i * 1500, 1500));
+                }
+            }
+        }
+        let (mut sim, h0, h1) = two_host_sim(Bandwidth::gbps(1), SimDuration::micros(5), 0.0);
+        let flow = FlowId(1);
+        sim.add_agent(h0, LateSender { peer: h1, flow });
+        let echoer = sim.add_agent(h1, Echoer { received: 0 });
+        sim.bind_flow(flow, echoer);
+        let plan = FaultPlan::new().link_flap(
+            LinkId(0),
+            SimTime::from_secs_f64(10e-6),
+            SimDuration::micros(200),
+        );
+        sim.install_faults(&plan);
+        sim.run();
+        // All three packets queued during the outage and crossed after
+        // the 210 µs repair.
+        assert_eq!(sim.agent::<Echoer>(echoer).received, 3 * 1500);
+        assert!(sim.now() > SimTime::from_secs_f64(210e-6));
+    }
+
+    #[test]
+    fn brownout_slows_serialization_then_recovers() {
+        let run = |plan: &FaultPlan| {
+            let (sim, pinger, _) = pingpong_with_plan(plan, 50);
+            assert_eq!(sim.agent::<Pinger>(pinger).echoes, 50);
+            sim.agent::<Pinger>(pinger).last_echo_at
+        };
+        let clean = run(&FaultPlan::new());
+        // Quarter rate for 300 µs starting at 10 µs.
+        let slow = run(&FaultPlan::new().brownout(
+            LinkId(0),
+            SimTime::from_secs_f64(10e-6),
+            SimDuration::micros(300),
+            0.25,
+        ));
+        // The brownout stretches the transfer but loses nothing: during
+        // the 300 µs window only 75 µs of work completes, a 225 µs delay.
+        assert!(
+            slow > clean + SimDuration::micros(180),
+            "clean={clean} slow={slow}"
+        );
+    }
+
+    #[test]
+    fn loss_window_swaps_model_and_restores() {
+        // A total-loss window over the whole burst, then repeat clean.
+        let burst = GilbertElliott {
+            p_good_to_bad: 1.0,
+            p_bad_to_good: 0.0,
+            loss_good: 1.0,
+            loss_bad: 1.0,
+        };
+        let plan = FaultPlan::new().loss_window(
+            LinkId(0),
+            SimTime::ZERO,
+            SimDuration::micros(100),
+            LossModel::GilbertElliott(burst),
+        );
+        let (sim, pinger, _) = pingpong_with_plan(&plan, 20);
+        // 100 µs at 12.32 µs/packet: the first 9 serializations start (and
+        // drop) inside the window; the rest cross after RestoreLoss.
         let got = sim.agent::<Pinger>(pinger).echoes;
-        // Data traverses the lossy direction once (p = .5); acks are
-        // never randomly dropped (loss applies to data only).
-        assert!((60..140).contains(&got), "echoes={got}");
-        assert_eq!(u64::from(got), sim.agent::<Echoer>(echoer).received / 1500);
+        assert!((10..20).contains(&got), "echoes={got}");
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic() {
+        let observables = || {
+            let plan = FaultPlan::new()
+                .link_flap(
+                    LinkId(0),
+                    SimTime::from_secs_f64(40e-6),
+                    SimDuration::micros(80),
+                )
+                .loss_window(
+                    LinkId(0),
+                    SimTime::from_secs_f64(200e-6),
+                    SimDuration::micros(200),
+                    LossModel::GilbertElliott(GilbertElliott::bursty(0.2, 0.3, 0.9)),
+                );
+            let (mut sim, h0, h1) = two_host_sim(Bandwidth::gbps(1), SimDuration::micros(5), 0.1);
+            let flow = FlowId(1);
+            let pinger = sim.add_agent(
+                h0,
+                Pinger {
+                    peer: h1,
+                    flow,
+                    pkts: 100,
+                    echoes: 0,
+                    last_echo_at: SimTime::ZERO,
+                },
+            );
+            let echoer = sim.add_agent(h1, Echoer { received: 0 });
+            sim.bind_flow(flow, pinger);
+            sim.bind_flow(flow, echoer);
+            sim.install_faults(&plan);
+            sim.run();
+            (
+                sim.agent::<Pinger>(pinger).echoes,
+                sim.stats().dropped,
+                sim.stats().events,
+                sim.now(),
+            )
+        };
+        assert_eq!(observables(), observables());
     }
 
     #[test]

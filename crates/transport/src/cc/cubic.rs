@@ -137,6 +137,7 @@ mod tests {
             rtt: Some(SimDuration::micros(100)),
             ecn_echo: false,
             in_recovery: false,
+            after_timeout: false,
         }
     }
 

@@ -122,6 +122,7 @@ mod tests {
             rtt: Some(SimDuration::micros(100)),
             ecn_echo: ecn,
             in_recovery: false,
+            after_timeout: false,
         }
     }
 

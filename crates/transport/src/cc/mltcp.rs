@@ -164,10 +164,18 @@ impl<C: CongestionControl> CongestionControl for Mltcp<C> {
         // Algorithm 1 bookkeeping: update bytes_sent / bytes_ratio, with
         // iteration-boundary reset on long ack gaps.
         let now_ns = ev.now.as_nanos();
+        // `after_timeout` marks the first good ack after an RTO blackout:
+        // that silence is loss recovery, not a compute phase, so neither
+        // the tracker's boundary detector nor the auto-tuner's burst
+        // segmentation may treat it as an iteration gap.
         let ratio = match &mut self.mode {
-            Mode::Tracking(tracker) => tracker.on_ack(now_ns, ev.newly_acked_bytes),
+            Mode::Tracking(tracker) => {
+                tracker.on_ack_hinted(now_ns, ev.newly_acked_bytes, ev.after_timeout)
+            }
             Mode::Learning(tuner) => {
-                if let Some(cfg) = tuner.on_ack(now_ns, ev.newly_acked_bytes) {
+                if let Some(cfg) =
+                    tuner.on_ack_hinted(now_ns, ev.newly_acked_bytes, ev.after_timeout)
+                {
                     self.mode = Mode::Tracking(IterationTracker::new(cfg));
                 }
                 // While learning, behave exactly like the base algorithm.
@@ -236,6 +244,7 @@ mod tests {
             rtt: Some(SimDuration::micros(100)),
             ecn_echo: false,
             in_recovery: false,
+            after_timeout: false,
         }
     }
 
@@ -291,6 +300,28 @@ mod tests {
         assert_eq!(m.bytes_ratio(), 1.0);
         // 200 ms silence > 100 ms COMP_TIME → new iteration.
         m.on_ack(&ack_at(200_000_000, 1.0), &mut w);
+        assert!((m.bytes_ratio() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rto_blackout_gap_does_not_reset_ratio() {
+        let total = 15_000;
+        let mut m = Mltcp::new(Reno::new(), Linear::paper_default(), oracle(total));
+        let mut w = Window::initial(10.0);
+        w.ssthresh = 5.0;
+        for i in 0..5 {
+            m.on_ack(&ack_at(i * 1000, 1.0), &mut w);
+        }
+        assert!((m.bytes_ratio() - 0.5).abs() < 1e-12);
+        // A 300 ms RTO blackout (3× COMP_TIME); the first good ack after
+        // it carries the recovery flag and must NOT look like a boundary.
+        let mut ev = ack_at(300_000_000, 1.0);
+        ev.after_timeout = true;
+        m.on_ack(&ev, &mut w);
+        assert!((m.bytes_ratio() - 0.6).abs() < 1e-12, "{}", m.bytes_ratio());
+        // The same gap unflagged resets — the iteration-boundary detector
+        // still works for genuine compute phases.
+        m.on_ack(&ack_at(600_000_000, 1.0), &mut w);
         assert!((m.bytes_ratio() - 0.1).abs() < 1e-12);
     }
 

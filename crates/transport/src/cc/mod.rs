@@ -78,6 +78,11 @@ pub struct AckEvent {
     /// The sender is currently in fast recovery (window growth is
     /// typically suppressed).
     pub in_recovery: bool,
+    /// This is the first good (snd_una-advancing) ack after ≥ 1
+    /// retransmission timeouts — the silence preceding it was a loss
+    /// blackout, not application idleness. MLTCP's iteration tracker uses
+    /// this to avoid misreading an RTO gap as an iteration boundary.
+    pub after_timeout: bool,
 }
 
 /// A congestion control algorithm.

@@ -104,6 +104,7 @@ mod tests {
             rtt: Some(SimDuration::micros(rtt_us)),
             ecn_echo: false,
             in_recovery: false,
+            after_timeout: false,
         }
     }
 

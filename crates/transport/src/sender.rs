@@ -16,7 +16,7 @@ use crate::rtt::RttEstimator;
 use mltcp_netsim::node::NodeId;
 use mltcp_netsim::packet::{EcnCodepoint, FlowId, Packet, SegmentHeader};
 use mltcp_netsim::sim::{Agent, AgentCtx, AgentId};
-use mltcp_netsim::time::SimTime;
+use mltcp_netsim::time::{SimDuration, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 
 /// How data packets are priority-tagged (for schedulers that use tags).
@@ -61,6 +61,14 @@ pub struct SenderConfig {
     /// default 1 ms suits second-scale iterations; millisecond-scale
     /// scenarios want ~8× the path RTT.
     pub min_rto: mltcp_netsim::time::SimDuration,
+    /// RTO ceiling: exponential backoff never exceeds this (RFC 6298
+    /// §2.5 allows any cap ≥ 60 s for the WAN; a blackout survivor at
+    /// datacenter scale wants seconds or less, so that the first
+    /// retransmission after a repair arrives promptly).
+    pub max_rto: mltcp_netsim::time::SimDuration,
+    /// Initial RTO before any RTT sample; `None` keeps the default of
+    /// `min_rto × 10`.
+    pub initial_rto: Option<mltcp_netsim::time::SimDuration>,
 }
 
 impl SenderConfig {
@@ -76,6 +84,8 @@ impl SenderConfig {
             ecn: false,
             slow_start_restart: false,
             min_rto: mltcp_netsim::time::SimDuration::millis(1),
+            max_rto: mltcp_netsim::time::SimDuration::secs(4),
+            initial_rto: None,
         }
     }
 }
@@ -93,6 +103,17 @@ pub struct SenderStats {
     pub fast_retransmits: u64,
     /// Transfers completed.
     pub transfers_completed: u64,
+    /// Blackout episodes: runs of ≥ 1 consecutive RTOs with no
+    /// intervening good ack.
+    pub blackouts: u64,
+    /// Longest run of consecutive RTOs observed.
+    pub max_consecutive_timeouts: u64,
+    /// Last blackout's detection time: from the last forward progress to
+    /// the first RTO of the episode.
+    pub last_blackout_detect: SimDuration,
+    /// Last blackout's recovery time: from the last forward progress to
+    /// the first good (snd_una-advancing) ack after the episode.
+    pub last_blackout_recovery: SimDuration,
 }
 
 /// The sender endpoint (a [`mltcp_netsim::sim::Agent`]).
@@ -127,6 +148,14 @@ pub struct TcpSender {
     rto_armed: bool,
     /// Completion log: (time, transfer bytes).
     completions: Vec<(SimTime, u64)>,
+    /// Time of the last forward progress (good ack or transfer start
+    /// from idle) — the baseline for blackout detection/recovery stats.
+    last_progress_at: SimTime,
+    /// Set at the first RTO of a blackout episode (to the progress
+    /// baseline); cleared by the first good ack after it.
+    outage_start: Option<SimTime>,
+    /// Current run of consecutive RTOs.
+    consecutive_timeouts: u64,
     stats: SenderStats,
 }
 
@@ -140,11 +169,10 @@ impl TcpSender {
     /// tables that choose the algorithm at runtime).
     pub fn new_boxed(cfg: SenderConfig, cc: Box<dyn CongestionControl>) -> Self {
         let initial = cfg.initial_cwnd;
-        let rtt = RttEstimator::new(
-            mltcp_netsim::time::SimDuration(cfg.min_rto.as_nanos().saturating_mul(10)),
-            cfg.min_rto,
-            mltcp_netsim::time::SimDuration::secs(4),
-        );
+        let initial_rto = cfg
+            .initial_rto
+            .unwrap_or(SimDuration(cfg.min_rto.as_nanos().saturating_mul(10)));
+        let rtt = RttEstimator::new(initial_rto, cfg.min_rto, cfg.max_rto);
         Self {
             rtt,
             cfg,
@@ -163,6 +191,9 @@ impl TcpSender {
             rto_gen: 0,
             rto_armed: false,
             completions: Vec::new(),
+            last_progress_at: SimTime::ZERO,
+            outage_start: None,
+            consecutive_timeouts: 0,
             stats: SenderStats::default(),
         }
     }
@@ -319,6 +350,14 @@ impl TcpSender {
             self.in_recovery = false;
         }
 
+        // Blackout bookkeeping: this good ack ends any RTO episode.
+        let after_timeout = self.outage_start.is_some();
+        if let Some(start) = self.outage_start.take() {
+            self.stats.last_blackout_recovery = ctx.now() - start;
+            self.consecutive_timeouts = 0;
+        }
+        self.last_progress_at = ctx.now();
+
         let ev = AckEvent {
             now: ctx.now(),
             newly_acked_bytes: newly,
@@ -326,6 +365,7 @@ impl TcpSender {
             rtt: sample,
             ecn_echo,
             in_recovery: self.in_recovery,
+            after_timeout,
         };
         self.cc.on_ack(&ev, &mut self.window);
         self.window.clamp_min();
@@ -360,6 +400,11 @@ impl TcpSender {
             }
             return;
         }
+        if self.is_idle() {
+            // Starting from idle is forward progress: an idle gap before
+            // this transfer is not part of any blackout.
+            self.last_progress_at = ctx.now();
+        }
         self.transfer_start = self.stream_end;
         self.stream_end += bytes;
         self.pending_ends.push_back(self.stream_end);
@@ -392,6 +437,16 @@ impl Agent for TcpSender {
         }
         // Retransmission timeout: collapse the window and go-back-N.
         self.stats.timeouts += 1;
+        self.consecutive_timeouts += 1;
+        self.stats.max_consecutive_timeouts = self
+            .stats
+            .max_consecutive_timeouts
+            .max(self.consecutive_timeouts);
+        if self.outage_start.is_none() {
+            self.outage_start = Some(self.last_progress_at);
+            self.stats.blackouts += 1;
+            self.stats.last_blackout_detect = ctx.now() - self.last_progress_at;
+        }
         self.rtt.on_timeout();
         self.in_recovery = false;
         self.dup_acks = 0;

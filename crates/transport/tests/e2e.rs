@@ -345,6 +345,87 @@ fn pfabric_priority_tags_decrease_with_progress() {
 }
 
 #[test]
+fn fifty_rto_blackout_recovers_in_bounded_time() {
+    // A mid-transfer link outage long enough for ~50 RTOs at the capped
+    // ceiling. With max_rto capped at 1 ms the sender probes the repaired
+    // link within one ceiling interval; without the cap, plain doubling
+    // would have backed off past the entire outage.
+    use mltcp_netsim::fault::FaultPlan;
+    let mut b = TopologyBuilder::new();
+    let h0 = b.host("h0");
+    let h1 = b.host("h1");
+    let fwd = b.directed(
+        h0,
+        h1,
+        LinkSpec::new(Bandwidth::gbps(10), SimDuration::micros(20)),
+    );
+    b.directed(
+        h1,
+        h0,
+        LinkSpec::new(Bandwidth::gbps(10), SimDuration::micros(20)),
+    );
+    let mut sim = Simulator::new(b.build().unwrap(), 7);
+    let outage = SimDuration::millis(55);
+    let fault_at = SimTime::from_secs_f64(1e-3);
+    let repair_at = fault_at + outage;
+    sim.install_faults(&FaultPlan::new().link_flap(fwd, fault_at, outage));
+    let driver = sim.add_agent(
+        h0,
+        OneShotDriver {
+            sender: None,
+            bytes: 3_000_000,
+            done_at: None,
+        },
+    );
+    let mut cfg = SenderConfig::new(FlowId(1), h1);
+    cfg.driver = Some(driver);
+    cfg.min_rto = SimDuration::micros(200);
+    cfg.max_rto = SimDuration::millis(1);
+    cfg.initial_rto = Some(SimDuration::micros(500));
+    let h = install_connection(&mut sim, h0, h1, cfg, Reno::new());
+    sim.agent_mut::<OneShotDriver>(driver).sender = Some(h.sender);
+    sim.run();
+
+    let done = sim
+        .agent::<OneShotDriver>(driver)
+        .done_at
+        .expect("transfer survives the blackout");
+    // Bounded recovery: first probe lands within max_rto of the repair,
+    // then ~2.4 ms of serialization + slow-start ramp. 10 ms of headroom.
+    assert!(
+        done < repair_at + SimDuration::millis(10),
+        "recovery too slow: done at {done}, repaired at {repair_at}"
+    );
+    // Go-back-N drained cleanly: every byte exactly delivered and acked.
+    let s = sim.agent::<TcpSender>(h.sender);
+    assert_eq!(s.bytes_acked(), 3_000_000);
+    assert_eq!(sim.agent::<TcpReceiver>(h.receiver).delivered(), 3_000_000);
+    // The outage produced a long consecutive-timeout episode (~50 at the
+    // 1 ms ceiling) and the recovery stats captured it.
+    let st = s.stats();
+    assert!(st.timeouts >= 40, "timeouts={}", st.timeouts);
+    assert!(st.blackouts >= 1, "blackouts={}", st.blackouts);
+    assert!(
+        st.max_consecutive_timeouts >= 40,
+        "max_consecutive_timeouts={}",
+        st.max_consecutive_timeouts
+    );
+    assert!(
+        st.last_blackout_detect <= SimDuration::millis(2),
+        "detect={}",
+        st.last_blackout_detect
+    );
+    // Time-to-first-good-ack after the stall began covers the outage but
+    // not much more (bounded overshoot thanks to the capped ceiling).
+    assert!(
+        st.last_blackout_recovery >= outage
+            && st.last_blackout_recovery <= outage + SimDuration::millis(5),
+        "recovery={}",
+        st.last_blackout_recovery
+    );
+}
+
+#[test]
 fn determinism_across_identical_runs() {
     let run = |seed: u64| {
         let mut b = TopologyBuilder::new();

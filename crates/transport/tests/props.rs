@@ -48,6 +48,7 @@ fn drive(cc: &mut dyn CongestionControl, evs: &[Ev]) -> bool {
                         rtt: Some(SimDuration::micros(80)),
                         ecn_echo: *ecn,
                         in_recovery: *rec,
+                        after_timeout: false,
                     },
                     &mut w,
                 );
@@ -105,6 +106,7 @@ proptest! {
                 rtt: Some(SimDuration::micros(80)),
                 ecn_echo: false,
                 in_recovery: false,
+                after_timeout: false,
             };
             let before_b = wb.cwnd;
             let before_a = wa.cwnd;
@@ -174,6 +176,70 @@ proptest! {
         prop_assert!(sim.agent::<Oneshot>(app).done, "loss={loss} kb={kb}");
         prop_assert_eq!(sim.agent::<TcpSender>(h.sender).bytes_acked(), bytes);
         // The receiver delivered exactly the stream (dedup'd).
+        let rx = sim.agent::<mltcp_transport::TcpReceiver>(h.receiver);
+        prop_assert_eq!(rx.delivered(), bytes);
+    }
+
+    /// Byte conservation under chaos: Gilbert–Elliott bursty loss on both
+    /// directions plus a random mid-transfer link flap (and optionally a
+    /// brownout) never duplicate, lose, or reorder application bytes —
+    /// every transfer completes with the receiver delivering exactly the
+    /// stream, for random fault schedules.
+    #[test]
+    fn bytes_conserved_under_bursty_loss_and_link_flap(
+        p_gb in 0.005f64..0.1,
+        p_bg in 0.1f64..0.5,
+        loss_bad in 0.1f64..0.7,
+        kb in 10u64..300,
+        flap_at_us in 50u64..2_000,
+        outage_us in 50u64..5_000,
+        brownout_factor in 0.1f64..1.0,
+        brownout_window_us in 100u64..2_000,
+        seed in 0u64..10_000,
+    ) {
+        use mltcp_netsim::fault::{FaultPlan, GilbertElliott, LossModel};
+        let ge = LossModel::GilbertElliott(GilbertElliott::bursty(p_gb, p_bg, loss_bad));
+        let mut b = TopologyBuilder::new();
+        let h0 = b.host("h0");
+        let h1 = b.host("h1");
+        let fwd = b.directed(
+            h0,
+            h1,
+            LinkSpec::new(Bandwidth::gbps(10), SimDuration::micros(10)),
+        );
+        let rev = b.directed(h1, h0, LinkSpec::new(Bandwidth::gbps(10), SimDuration::micros(10)));
+        let mut sim = Simulator::new(b.build().expect("connected"), seed);
+        let horizon = SimDuration::secs(30);
+        let mut plan = FaultPlan::new()
+            // Bursty loss on data AND ack paths for the whole run.
+            .loss_window(fwd, SimTime::ZERO, horizon, ge)
+            .loss_window(rev, SimTime::ZERO, horizon, ge)
+            .link_flap(
+                fwd,
+                SimTime(flap_at_us * 1_000),
+                SimDuration::micros(outage_us),
+            );
+        plan = plan.brownout(
+            rev,
+            SimTime(flap_at_us * 1_000),
+            SimDuration::micros(brownout_window_us),
+            brownout_factor,
+        );
+        sim.install_faults(&plan);
+        let bytes = kb * 1000;
+        let app = sim.add_agent(h0, Oneshot { sender: None, bytes, done: false });
+        let mut cfg = SenderConfig::new(FlowId(1), h1);
+        cfg.driver = Some(app);
+        cfg.min_rto = SimDuration::micros(200);
+        cfg.max_rto = SimDuration::millis(2);
+        let h = install_connection(&mut sim, h0, h1, cfg, Reno::new());
+        sim.agent_mut::<Oneshot>(app).sender = Some(h.sender);
+        sim.run_until(SimTime::from_secs_f64(30.0));
+        prop_assert!(
+            sim.agent::<Oneshot>(app).done,
+            "ge=({p_gb},{p_bg},{loss_bad}) kb={kb} flap@{flap_at_us}us/{outage_us}us"
+        );
+        prop_assert_eq!(sim.agent::<TcpSender>(h.sender).bytes_acked(), bytes);
         let rx = sim.agent::<mltcp_transport::TcpReceiver>(h.receiver);
         prop_assert_eq!(rx.delivered(), bytes);
     }

@@ -78,6 +78,10 @@ pub struct JobDriver {
     records: Vec<IterationRecord>,
     /// Comm-phase start times, one per iteration (for shift analysis).
     comm_starts: Vec<SimTime>,
+    /// The crash/restart fault already fired (it fires at most once).
+    restart_fired: bool,
+    /// `(iteration index, resume time)` once the restart fault has fired.
+    restart_resume: Option<(u32, SimTime)>,
 }
 
 impl JobDriver {
@@ -100,6 +104,8 @@ impl JobDriver {
             comm_start: SimTime::ZERO,
             records: Vec::new(),
             comm_starts: Vec::new(),
+            restart_fired: false,
+            restart_resume: None,
         }
     }
 
@@ -137,10 +143,78 @@ impl JobDriver {
         matches!(self.phase, Phase::Finished)
     }
 
+    /// Where the job resumed after its crash/restart fault: the iteration
+    /// index that was delayed and the simulated resume time. `None` when
+    /// no restart was configured or it has not fired yet.
+    pub fn restart_resume(&self) -> Option<(u32, SimTime)> {
+        self.restart_resume
+    }
+
+    /// How many iterations the job needed to re-interleave with its
+    /// neighbours after resuming from its crash/restart fault.
+    ///
+    /// Baseline = mean of the (up to 5) iteration durations immediately
+    /// before the restart. Post-resume durations are compared through a
+    /// trailing 5-iteration mean (one noisy iteration neither triggers
+    /// nor masks a violation). The answer counts post-resume iterations
+    /// up to and including the *last* smoothed point exceeding
+    /// `baseline × (1 + rel_tol)` — after that many iterations the job
+    /// is back to its pre-fault speed and stays there.
+    ///
+    /// Returns `None` when the restart never fired, fired before any
+    /// baseline existed, or the job never re-converged within the run
+    /// (still violating at the last recorded iteration).
+    pub fn iterations_to_reinterleave(&self, rel_tol: f64) -> Option<u32> {
+        const WINDOW: usize = 5;
+        let (resume_idx, _) = self.restart_resume?;
+        let resume = resume_idx as usize;
+        if resume == 0 || resume >= self.records.len() {
+            return None;
+        }
+        let durs: Vec<f64> = self
+            .records
+            .iter()
+            .map(|r| r.duration().as_secs_f64())
+            .collect();
+        let pre = &durs[..resume];
+        let take = pre.len().min(WINDOW);
+        let baseline: f64 = pre[pre.len() - take..].iter().sum::<f64>() / take as f64;
+        let bound = baseline * (1.0 + rel_tol);
+        let mut last_bad = None;
+        for i in resume..durs.len() {
+            let lo = (i + 1).saturating_sub(WINDOW).max(resume);
+            let smoothed: f64 = durs[lo..=i].iter().sum::<f64>() / (i + 1 - lo) as f64;
+            if smoothed > bound {
+                last_bad = Some(i);
+            }
+        }
+        match last_bad {
+            None => Some(0),
+            Some(i) if i + 1 < durs.len() => Some((i + 1 - resume) as u32),
+            Some(_) => None,
+        }
+    }
+
     fn begin_iteration(&mut self, ctx: &mut AgentCtx<'_>) {
         if self.iter_index >= self.spec.iterations {
             self.phase = Phase::Finished;
             return;
+        }
+        // Crash/restart fault: pause the whole job for the configured
+        // outage before iteration `at_iter` begins, then resume. The
+        // outage itself is not part of any iteration's duration — what we
+        // measure afterwards is purely how the resumed job interleaves
+        // with its peers.
+        if !self.restart_fired {
+            if let Some(rs) = self.spec.restart {
+                if self.iter_index >= rs.at_iter {
+                    self.restart_fired = true;
+                    self.restart_resume = Some((self.iter_index, ctx.now() + rs.outage));
+                    self.phase = Phase::Pending;
+                    ctx.set_timer(rs.outage, Self::TIMER_BEGIN);
+                    return;
+                }
+            }
         }
         // Centralized pacing: hold the iteration for its planned slot on
         // the grid `start_offset + k × pace`. A job that fell behind its

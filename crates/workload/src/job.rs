@@ -5,6 +5,22 @@ use mltcp_netsim::link::Bandwidth;
 use mltcp_netsim::time::SimDuration;
 use serde::{Deserialize, Serialize};
 
+/// A scheduled crash/restart: the job pauses just before iteration
+/// `at_iter` for `outage`, then resumes training where it left off.
+///
+/// This models a worker failure + checkpoint restore: no iterations are
+/// lost, but the job's phase relative to its peers is perturbed by the
+/// outage. The interesting question downstream is how many iterations the
+/// fabric needs to re-interleave the job with its neighbours (MLTCP
+/// self-heals; a static Cassini-style offset plan does not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RestartSpec {
+    /// The 0-based iteration index before which the job pauses.
+    pub at_iter: u32,
+    /// How long the job stays down before resuming.
+    pub outage: SimDuration,
+}
+
 /// A periodic DNN training/fine-tuning job.
 ///
 /// Each iteration: compute for `compute_time` (plus Gaussian noise), then
@@ -41,6 +57,9 @@ pub struct JobSpec {
     /// *enforces* its planned schedule (static start offsets alone drift
     /// apart as soon as measured iteration times deviate from the plan).
     pub pace: Option<SimDuration>,
+    /// Optional crash/restart fault: pause before `at_iter` for `outage`,
+    /// then resume (see [`RestartSpec`]).
+    pub restart: Option<RestartSpec>,
 }
 
 impl JobSpec {
@@ -61,6 +80,7 @@ impl JobSpec {
             noise_stddev: SimDuration::ZERO,
             bursts: 1,
             pace: None,
+            restart: None,
         }
     }
 
@@ -91,6 +111,13 @@ impl JobSpec {
     /// Builder: centralized pacing period (see [`JobSpec::pace`]).
     pub fn with_pace(mut self, pace: SimDuration) -> Self {
         self.pace = Some(pace);
+        self
+    }
+
+    /// Builder: crash/restart fault — pause before iteration `at_iter`
+    /// for `outage`, then resume (see [`RestartSpec`]).
+    pub fn with_restart(mut self, at_iter: u32, outage: SimDuration) -> Self {
+        self.restart = Some(RestartSpec { at_iter, outage });
         self
     }
 

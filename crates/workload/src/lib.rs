@@ -37,7 +37,7 @@ pub mod stats;
 pub mod sweep;
 
 pub use driver::JobDriver;
-pub use job::JobSpec;
-pub use scenario::{CongestionSpec, FnSpec, Scenario, ScenarioBuilder};
+pub use job::{JobSpec, RestartSpec};
+pub use scenario::{CongestionSpec, FnSpec, LinkFault, Scenario, ScenarioBuilder};
 pub use stats::IterationStats;
 pub use sweep::SweepRunner;

@@ -12,6 +12,7 @@ use crate::job::JobSpec;
 use crate::stats::{IterationStats, JobReport};
 use mltcp_core::aggressiveness::{Aggressiveness, FigureFunction, Linear};
 use mltcp_core::params::MltcpParams;
+use mltcp_netsim::fault::{FaultPlan, GilbertElliott, LossModel};
 use mltcp_netsim::link::Bandwidth;
 use mltcp_netsim::packet::FlowId;
 use mltcp_netsim::queue::QueueKind;
@@ -145,6 +146,40 @@ impl CongestionSpec {
     }
 }
 
+/// A fault applied to the shared bottleneck (both directions, so data
+/// and acks are hit symmetrically — a real link failure takes out the
+/// whole cable, not one fibre).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LinkFault {
+    /// Full outage: link down at `at`, back up `duration` later.
+    Down {
+        /// Fault onset (simulated time).
+        at: SimTime,
+        /// Outage length.
+        duration: SimDuration,
+    },
+    /// Bandwidth brownout: serialization runs at `factor` × nominal rate
+    /// during the window.
+    Brownout {
+        /// Fault onset (simulated time).
+        at: SimTime,
+        /// Window length.
+        duration: SimDuration,
+        /// Rate multiplier in (0, 1] — e.g. 0.25 = quarter speed.
+        factor: f64,
+    },
+    /// Bursty (Gilbert–Elliott) loss replaces the link's loss model
+    /// during the window, then the configured model is restored.
+    BurstyLoss {
+        /// Fault onset (simulated time).
+        at: SimTime,
+        /// Window length.
+        duration: SimDuration,
+        /// The two-state loss model to apply.
+        model: GilbertElliott,
+    },
+}
+
 /// Handles to one installed job.
 #[derive(Debug, Clone)]
 pub struct JobHandle {
@@ -171,6 +206,7 @@ pub struct ScenarioBuilder {
     jobs: Vec<(JobSpec, CongestionSpec)>,
     priority: PriorityPolicy,
     min_rto: Option<SimDuration>,
+    max_rto: Option<SimDuration>,
     /// Oracle COMP_TIME = this fraction of the job's compute phase.
     comp_threshold_frac: f64,
     /// Use autotune (learned TOTAL_BYTES/COMP_TIME) instead of oracle.
@@ -178,6 +214,7 @@ pub struct ScenarioBuilder {
     trace_bin: Option<SimDuration>,
     slow_start_restart: bool,
     initial_cwnd: f64,
+    faults: Vec<LinkFault>,
 }
 
 impl ScenarioBuilder {
@@ -193,11 +230,13 @@ impl ScenarioBuilder {
             jobs: Vec::new(),
             priority: PriorityPolicy::None,
             min_rto: None,
+            max_rto: None,
             comp_threshold_frac: 0.25,
             autotune: false,
             trace_bin: None,
             slow_start_restart: true,
             initial_cwnd: 10.0,
+            faults: Vec::new(),
         }
     }
 
@@ -236,6 +275,14 @@ impl ScenarioBuilder {
     /// Overrides the RTO floor (default: `max(20 × hop_delay, 50 µs)`).
     pub fn min_rto(mut self, d: SimDuration) -> Self {
         self.min_rto = Some(d);
+        self
+    }
+
+    /// Overrides the RTO backoff ceiling (default 4 s). Fault experiments
+    /// set this to ~one iteration period so senders probe a repaired link
+    /// promptly instead of overshooting the outage by a full doubling.
+    pub fn max_rto(mut self, d: SimDuration) -> Self {
+        self.max_rto = Some(d);
         self
     }
 
@@ -284,6 +331,14 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Schedules a fault on the bottleneck (applied to both the forward
+    /// and the reverse channel). May be called multiple times;
+    /// fault windows compose in schedule order.
+    pub fn bottleneck_fault(mut self, fault: LinkFault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
     /// Assembles the simulation.
     pub fn build(self) -> Scenario {
         assert!(!self.jobs.is_empty(), "scenario needs at least one job");
@@ -305,6 +360,27 @@ impl ScenarioBuilder {
         let mut sim = Simulator::new(topo, self.seed);
         if let Some(bin) = self.trace_bin {
             sim.enable_trace(dumbbell.bottleneck, bin);
+        }
+        if !self.faults.is_empty() {
+            let mut plan = FaultPlan::new();
+            for f in &self.faults {
+                for link in [dumbbell.bottleneck, dumbbell.reverse] {
+                    plan = match *f {
+                        LinkFault::Down { at, duration } => plan.link_flap(link, at, duration),
+                        LinkFault::Brownout {
+                            at,
+                            duration,
+                            factor,
+                        } => plan.brownout(link, at, duration, factor),
+                        LinkFault::BurstyLoss {
+                            at,
+                            duration,
+                            model,
+                        } => plan.loss_window(link, at, duration, LossModel::GilbertElliott(model)),
+                    };
+                }
+            }
+            sim.install_faults(&plan);
         }
         let min_rto = self
             .min_rto
@@ -349,6 +425,9 @@ impl ScenarioBuilder {
                 cfg.priority = self.priority.clone();
                 cfg.ecn = cc_spec.needs_ecn();
                 cfg.min_rto = min_rto;
+                if let Some(m) = self.max_rto {
+                    cfg.max_rto = m.max(min_rto);
+                }
                 cfg.slow_start_restart = self.slow_start_restart;
                 cfg.initial_cwnd = self.initial_cwnd;
                 let sender = sim.add_agent(src, TcpSender::new_boxed(cfg, cc_spec.build(oracle)));
@@ -443,6 +522,21 @@ impl Scenario {
     pub fn ideal_period(&self, idx: usize) -> SimDuration {
         self.jobs[idx].spec.ideal_period(self.bottleneck)
     }
+
+    /// Where job `idx` resumed after its crash/restart fault, if any.
+    pub fn restart_resume(&self, idx: usize) -> Option<(u32, SimTime)> {
+        self.sim
+            .agent::<JobDriver>(self.jobs[idx].driver)
+            .restart_resume()
+    }
+
+    /// Iterations job `idx` needed to re-interleave after its restart
+    /// (see [`JobDriver::iterations_to_reinterleave`]).
+    pub fn iterations_to_reinterleave(&self, idx: usize, rel_tol: f64) -> Option<u32> {
+        self.sim
+            .agent::<JobDriver>(self.jobs[idx].driver)
+            .iterations_to_reinterleave(rel_tol)
+    }
 }
 
 #[cfg(test)]
@@ -530,6 +624,77 @@ mod tests {
     #[should_panic(expected = "at least one job")]
     fn empty_scenario_panics() {
         let _ = ScenarioBuilder::new(0).build();
+    }
+
+    #[test]
+    fn restart_pauses_then_resumes_and_completes() {
+        let rate = models::paper_bottleneck();
+        let outage = SimDuration::millis(5);
+        let spec = models::gpt2(rate, 1e-3, 8).with_restart(4, outage);
+        let mut sc = ScenarioBuilder::new(11)
+            .job(spec, CongestionSpec::Reno)
+            .build();
+        sc.run(SimTime::from_secs_f64(1.0));
+        assert!(sc.all_finished());
+        let stats = sc.stats(0);
+        assert_eq!(stats.len(), 8, "no iterations are lost across a restart");
+        let (idx, resume) = sc.restart_resume(0).expect("restart fired");
+        assert_eq!(idx, 4);
+        // The gap between iteration 3's end and iteration 4's start covers
+        // the outage, and the outage is not billed to either iteration.
+        let driver = sc.sim.agent::<JobDriver>(sc.jobs[0].driver);
+        let recs = driver.records();
+        assert!(recs[4].start >= recs[3].end + outage);
+        assert_eq!(recs[4].start, resume);
+        // Alone on the link, the job is back at full speed immediately.
+        assert_eq!(sc.iterations_to_reinterleave(0, 0.10), Some(0));
+    }
+
+    #[test]
+    fn bottleneck_fault_perturbs_but_job_completes() {
+        let rate = models::paper_bottleneck();
+        // Clean run vs. a run with a mid-training bottleneck outage: the
+        // faulted run must still finish, and the outage must show up in
+        // makespan (less than its full length where it overlaps a compute
+        // phase, during which no traffic needed the link).
+        let outage = SimDuration::millis(2);
+        let mk = |fault: bool| {
+            let mut b =
+                ScenarioBuilder::new(17).job(models::gpt2(rate, 1e-3, 6), CongestionSpec::Reno);
+            if fault {
+                b = b.bottleneck_fault(LinkFault::Down {
+                    at: SimTime::from_secs_f64(3e-3),
+                    duration: outage,
+                });
+            }
+            let mut sc = b.build();
+            sc.run(SimTime::from_secs_f64(1.0));
+            assert!(sc.all_finished());
+            let driver = sc.sim.agent::<JobDriver>(sc.jobs[0].driver);
+            driver.records().last().unwrap().end
+        };
+        let clean = mk(false);
+        let faulted = mk(true);
+        assert!(
+            faulted.as_secs_f64() >= clean.as_secs_f64() + outage.as_secs_f64() * 0.5,
+            "outage must show up in makespan: clean {clean:?} faulted {faulted:?}"
+        );
+    }
+
+    #[test]
+    fn bursty_loss_window_slows_but_does_not_wedge() {
+        let rate = models::paper_bottleneck();
+        let mut sc = ScenarioBuilder::new(23)
+            .job(models::gpt2(rate, 1e-3, 6), CongestionSpec::Reno)
+            .bottleneck_fault(LinkFault::BurstyLoss {
+                at: SimTime::from_secs_f64(2e-3),
+                duration: SimDuration::millis(3),
+                model: GilbertElliott::bursty(0.05, 0.25, 0.5),
+            })
+            .build();
+        sc.run(SimTime::from_secs_f64(2.0));
+        assert!(sc.all_finished(), "GBN must drain through bursty loss");
+        assert_eq!(sc.stats(0).len(), 6);
     }
 
     #[test]

@@ -64,11 +64,14 @@ pub use mltcp_workload as workload;
 pub mod prelude {
     pub use mltcp_core::aggressiveness::{Aggressiveness, FigureFunction, Linear};
     pub use mltcp_core::params::MltcpParams;
+    pub use mltcp_netsim::fault::{FaultPlan, GilbertElliott, LossModel};
     pub use mltcp_netsim::link::Bandwidth;
     pub use mltcp_netsim::queue::QueueKind;
     pub use mltcp_netsim::time::{SimDuration, SimTime};
     pub use mltcp_workload::models;
-    pub use mltcp_workload::scenario::{CongestionSpec, FnSpec, Scenario, ScenarioBuilder};
+    pub use mltcp_workload::scenario::{
+        CongestionSpec, FnSpec, LinkFault, Scenario, ScenarioBuilder,
+    };
     pub use mltcp_workload::stats::{speedup_at, IterationStats, JobReport};
-    pub use mltcp_workload::JobSpec;
+    pub use mltcp_workload::{JobSpec, RestartSpec};
 }
