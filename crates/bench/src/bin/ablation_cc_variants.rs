@@ -36,6 +36,7 @@ fn run(scale: f64, iters: u32, cc: &CongestionSpec, seed: u64) -> f64 {
         b = b.job(j, cc.clone());
     }
     let mut sc = b.build();
+    mltcp_bench::attach_trace(&mut sc, &format!("{}-s{seed}", cc.label()));
     sc.run(mix_deadline(scale, iters));
     assert!(sc.all_finished(), "{}: did not finish", cc.label());
     mean_steady_ratio(&sc)

@@ -22,6 +22,10 @@ fn run(scale: f64, iters: u32, frac: f64, autotune: bool, seed: u64) -> f64 {
         b = b.job(j, CongestionSpec::MltcpReno(FnSpec::Paper));
     }
     let mut sc = b.build();
+    mltcp_bench::attach_trace(
+        &mut sc,
+        &format!("frac{frac}{}", if autotune { "-autotune" } else { "" }),
+    );
     sc.run(mix_deadline(scale, iters));
     assert!(
         sc.all_finished(),

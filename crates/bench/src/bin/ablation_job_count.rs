@@ -37,6 +37,10 @@ fn main() {
             CongestionSpec::Reno
         };
         let mut sc = uniform_scenario(sd, gpt2_jobs(scale, iters, n), cc);
+        mltcp_bench::attach_trace(
+            &mut sc,
+            &format!("n{n}-{}", if mltcp { "mltcp" } else { "reno" }),
+        );
         sc.run(mix_deadline(scale, iters));
         assert!(
             sc.all_finished(),

@@ -38,6 +38,7 @@ fn main() {
             gpt2_jobs(scale, iters, 6),
             CongestionSpec::MltcpReno(FnSpec::Linear { slope, intercept }),
         );
+        mltcp_bench::attach_trace(&mut sc, &format!("s{slope}-i{intercept}"));
         sc.run(deadline);
         assert!(sc.all_finished(), "S={slope} I={intercept}: did not finish");
         mean_steady_ratio(&sc)

@@ -103,6 +103,7 @@ fn run_flow(p: f64, cc: Box<dyn CongestionControl>, seed: u64) -> f64 {
     sim.bind_flow(FlowId(1), receiver);
     sim.agent_mut::<PeriodicApp>(app).sender = Some(sender);
 
+    mltcp_bench::attach_trace_sim(&mut sim, &format!("p{p}-s{seed}"));
     sim.run_until(SimTime::from_secs_f64(120.0));
     let spans = &sim.agent::<PeriodicApp>(app).spans;
     assert!(

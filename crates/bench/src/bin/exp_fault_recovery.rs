@@ -19,6 +19,12 @@
 //! after which every later duration is within 5% of the pre-fault steady
 //! mean). MLTCP should re-converge within tens of iterations; the static
 //! plan drifts and stays degraded.
+//!
+//! Every run also carries a telemetry [`MetricsSink`], so each fault
+//! class reports its transport-level footprint — packet drops, RTO and
+//! fast-retransmit counts, and brownout/downtime seconds — alongside the
+//! iteration-level recovery numbers. The full per-case snapshots land in
+//! `results/exp_fault_recovery_metrics.json`.
 
 use mltcp_bench::experiments::{
     cassini_scenario, mix_deadline, print_summary_table, reconverge_after, summarize_run,
@@ -27,8 +33,12 @@ use mltcp_bench::experiments::{
 use mltcp_bench::{experiments::fig2_jobs, iters_or, scale, seed, Figure, Series};
 use mltcp_netsim::fault::GilbertElliott;
 use mltcp_netsim::time::{SimDuration, SimTime};
+use mltcp_telemetry::{
+    take_metrics, JsonlSink, MetricsSink, MetricsSnapshot, TeeSink, TelemetrySink,
+};
 use mltcp_workload::scenario::{CongestionSpec, FnSpec, Scenario};
 use mltcp_workload::{JobDriver, SweepRunner};
+use std::io::Write;
 
 /// Re-convergence tolerance: within 5% of the pre-fault steady mean.
 const REL_TOL: f64 = 0.05;
@@ -43,6 +53,9 @@ struct CaseResult {
     mix_series: Vec<f64>,
     /// Mix-level iterations-to-re-interleave.
     reconv_mix: Option<usize>,
+    /// Transport-level footprint of the case (drops, RTOs, fault
+    /// windows), from the run's [`MetricsSink`].
+    metrics: MetricsSnapshot,
 }
 
 /// First iteration of job `idx` whose duration could reflect the fault.
@@ -66,7 +79,27 @@ fn fault_iteration(sc: &Scenario, idx: usize, case: &FaultCase) -> Option<usize>
     records.iter().position(|r| r.end >= onset)
 }
 
-fn run_case(seed: u64, case: &FaultCase, plan: &PlanKind, scale: f64, iters: u32) -> CaseResult {
+/// The run's telemetry sink: metrics always; tee in a JSONL stream when
+/// the binary was invoked with `--trace`.
+fn case_sink(label: &str) -> Box<dyn TelemetrySink> {
+    let metrics = Box::new(MetricsSink::new());
+    if let Some(base) = mltcp_bench::trace_base() {
+        let path = mltcp_bench::trace_path(&base, label);
+        if let Ok(jsonl) = JsonlSink::create(&path) {
+            return Box::new(TeeSink::new(vec![metrics, Box::new(jsonl)]));
+        }
+    }
+    metrics
+}
+
+fn run_case(
+    seed: u64,
+    label: &str,
+    case: &FaultCase,
+    plan: &PlanKind,
+    scale: f64,
+    iters: u32,
+) -> CaseResult {
     // Cap RTO backoff near one iteration period so a sender probes a
     // repaired link promptly instead of overshooting the outage.
     let period = SimDuration::from_secs_f64(1.8 * scale); // GPT-2 ideal period
@@ -74,6 +107,7 @@ fn run_case(seed: u64, case: &FaultCase, plan: &PlanKind, scale: f64, iters: u32
         .builder(seed, fig2_jobs(scale, iters), plan)
         .max_rto(period)
         .build();
+    sc.set_telemetry(case_sink(label));
     sc.run(mix_deadline(scale, iters));
     assert!(
         sc.all_finished(),
@@ -109,11 +143,16 @@ fn run_case(seed: u64, case: &FaultCase, plan: &PlanKind, scale: f64, iters: u32
         .copied()
         .collect::<Option<Vec<_>>>()
         .and_then(|fis| reconverge_after(&mix_series, fis.into_iter().max()?, REL_TOL));
+    let metrics = sc
+        .take_telemetry()
+        .and_then(take_metrics)
+        .expect("metrics sink was attached");
     CaseResult {
         summary,
         reconv,
         mix_series,
         reconv_mix,
+        metrics,
     }
 }
 
@@ -219,7 +258,8 @@ fn main() {
         .flat_map(|c| (0..plans.len()).map(move |p| (c, p)))
         .collect();
     let results = SweepRunner::new().run(&grid, |_, &(c, p)| {
-        run_case(seed(), &cases[c].1, &plans[p], scale, iters)
+        let label = format!("{}/{}", cases[c].0, plans[p].label());
+        run_case(seed(), &label, &cases[c].1, &plans[p], scale, iters)
     });
 
     for ((c, p), res) in grid.iter().zip(&results) {
@@ -253,6 +293,24 @@ fn main() {
                 format!("{label}: mix iterations to re-interleave"),
                 res.reconv_mix.map(|n| n as f64).unwrap_or(f64::from(iters)),
             );
+        }
+        // Transport-level footprint of the fault class (satellite view:
+        // what the fault did to packets, not just to iteration times).
+        let m = &res.metrics;
+        fig.metric(
+            format!("{label}: packet drops"),
+            m.counter("drops/total") as f64,
+        );
+        fig.metric(format!("{label}: rtos"), m.counter("retx/rto") as f64);
+        fig.metric(
+            format!("{label}: fast retransmits"),
+            m.counter("retx/fast") as f64,
+        );
+        if let Some(s) = m.gauge("fault/brownout_s") {
+            fig.metric(format!("{label}: brownout seconds"), s);
+        }
+        if let Some(s) = m.gauge("fault/downtime_s") {
+            fig.metric(format!("{label}: downtime seconds"), s);
         }
         fig.push_series(Series::from_y(
             format!("{label}: mix mean iteration ratio"),
@@ -291,6 +349,28 @@ fn main() {
     );
     fig.metric("mltcp worst post-fault steady ratio", mltcp_worst);
     fig.metric("cassini-static best post-fault steady ratio", static_best);
+    // Full per-case metrics snapshots, machine-readable.
+    let metrics_path = mltcp_bench::results_dir().join("exp_fault_recovery_metrics.json");
+    let body: Vec<String> = grid
+        .iter()
+        .zip(&results)
+        .map(|((c, p), res)| {
+            format!(
+                "  \"{}/{}\": {}",
+                cases[*c].0,
+                plans[*p].label(),
+                res.metrics.to_json()
+            )
+        })
+        .collect();
+    match std::fs::File::create(&metrics_path) {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{{\n{}\n}}", body.join(",\n"));
+            println!("[written {}]", metrics_path.display());
+        }
+        Err(e) => eprintln!("warning: could not write {}: {e}", metrics_path.display()),
+    }
+
     fig.note(
         "expected: mltcp returns to its fault-free steady level within tens \
          of iterations for every fault class (the aggressiveness feedback \

@@ -45,6 +45,7 @@ fn main() {
             .trace(bin)
             .job(job, CongestionSpec::Reno)
             .build();
+        mltcp_bench::attach_trace(&mut sc, &name);
         sc.run(deadline(period * f64::from(iters) * 2.0));
         assert!(sc.all_finished(), "{name} did not finish");
 

@@ -44,6 +44,7 @@ fn main() {
             "cassini" => cassini_scenario(seed(), jobs),
             _ => pfabric_scenario(seed(), jobs),
         };
+        mltcp_bench::attach_trace(&mut sc, label);
         sc.run(deadline);
         assert!(sc.all_finished(), "{label}: jobs did not finish");
         summarize_run(&sc)

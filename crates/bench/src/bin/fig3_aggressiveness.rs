@@ -28,6 +28,7 @@ fn main() {
             gpt2_jobs(scale, iters, 3),
             CongestionSpec::MltcpReno(FnSpec::Figure(f.clone())),
         );
+        mltcp_bench::attach_trace(&mut sc, &label);
         sc.run(deadline);
         assert!(sc.all_finished(), "{label}: jobs did not finish");
 

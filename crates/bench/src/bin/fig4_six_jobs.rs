@@ -43,6 +43,7 @@ fn main() {
             b = b.job(j, cc.clone());
         }
         let mut sc = b.build();
+        mltcp_bench::attach_trace(&mut sc, label);
         sc.run(deadline);
         assert!(sc.all_finished(), "{label}: jobs did not finish");
 

@@ -45,6 +45,7 @@ fn main() {
                 b = b.job(j, CongestionSpec::MltcpReno(FnSpec::Paper));
             }
             let mut sc = b.build();
+            mltcp_bench::attach_trace(&mut sc, "two-jobs");
             sc.run(deadline);
             assert!(sc.all_finished(), "jobs did not finish");
 

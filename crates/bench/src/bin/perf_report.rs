@@ -13,31 +13,93 @@
 //! ```
 //!
 //! Knobs: `MLTCP_SCALE` / `MLTCP_ITERS` / `MLTCP_SEED` as in every other
-//! figure binary, so the measured workload is reproducible.
+//! figure binary, so the measured workload is reproducible. Set
+//! `MLTCP_PERF_CHECK=<frac>` (e.g. `0.05`) to *check* the measured
+//! disabled-telemetry throughput against the committed `BENCH_PR1.json`
+//! instead of rewriting it — the binary exits non-zero when throughput
+//! fell more than that fraction below the baseline.
 
 use mltcp_bench::experiments::{gpt2_jobs, mix_deadline, uniform_scenario};
 use mltcp_bench::json::Json;
 use mltcp_bench::{iters_or, scale, seed};
-use mltcp_workload::scenario::{CongestionSpec, FnSpec};
+use mltcp_telemetry::RingRecorder;
+use mltcp_workload::scenario::{CongestionSpec, FnSpec, Scenario};
 use mltcp_workload::SweepRunner;
 use std::io::Write;
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
 use std::time::Instant;
 
-/// Runs the canonical single-simulator workload (6 GPT-2 jobs sharing
-/// the dumbbell under MLTCP-Reno) and returns (events, wall seconds).
-fn single_run(scale: f64, iters: u32, sd: u64) -> (u64, f64) {
-    let mut sc = uniform_scenario(
+/// The canonical single-simulator workload: 6 GPT-2 jobs sharing the
+/// dumbbell under MLTCP-Reno.
+fn build_workload(scale: f64, iters: u32, sd: u64) -> Scenario {
+    uniform_scenario(
         sd,
         gpt2_jobs(scale, iters, 6),
         CongestionSpec::MltcpReno(FnSpec::Paper),
-    );
+    )
+}
+
+/// Runs the canonical workload and returns (events, wall seconds).
+/// Telemetry stays detached — this is the tracked baseline number.
+fn single_run(scale: f64, iters: u32, sd: u64) -> (u64, f64) {
+    let mut sc = build_workload(scale, iters, sd);
     let t0 = Instant::now();
     sc.run(mix_deadline(scale, iters));
     let wall = t0.elapsed().as_secs_f64();
     assert!(sc.all_finished(), "perf workload did not finish");
     (sc.sim.stats().events, wall)
+}
+
+/// The same workload with a ring-buffer telemetry sink attached — the
+/// enabled-path overhead measurement. Returns (events, wall seconds,
+/// telemetry events recorded).
+fn ring_run(scale: f64, iters: u32, sd: u64) -> (u64, f64, u64) {
+    let mut sc = build_workload(scale, iters, sd);
+    sc.set_telemetry(Box::new(RingRecorder::new(1 << 16)));
+    let t0 = Instant::now();
+    sc.run(mix_deadline(scale, iters));
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(
+        sc.all_finished(),
+        "instrumented perf workload did not finish"
+    );
+    let recorded = sc
+        .take_telemetry()
+        .map(|sink| {
+            let any = sink.into_any();
+            any.downcast::<RingRecorder>()
+                .map(|r| r.total_recorded())
+                .unwrap_or(0)
+        })
+        .unwrap_or(0);
+    (sc.sim.stats().events, wall, recorded)
+}
+
+/// The same workload under the sim-time profiler; returns the per-kind
+/// wall-clock attribution.
+fn profiled_run(scale: f64, iters: u32, sd: u64) -> mltcp_telemetry::ProfileSnapshot {
+    let mut sc = build_workload(scale, iters, sd);
+    sc.sim.enable_profiler();
+    sc.run(mix_deadline(scale, iters));
+    assert!(sc.all_finished(), "profiled perf workload did not finish");
+    sc.sim.profile_snapshot().expect("profiler enabled")
+}
+
+/// Extracts `single_thread.events_per_sec` from a committed
+/// `BENCH_PR1.json` without a JSON parser: the key is unique to that
+/// section in the report we write.
+fn baseline_events_per_sec(text: &str) -> Option<f64> {
+    let at = text.find("\"events_per_sec\"")?;
+    let rest = &text[at..];
+    let colon = rest.find(':')?;
+    let tail = rest[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
 }
 
 /// Runs the multi-seed sweep on `threads` workers and returns
@@ -76,6 +138,63 @@ fn main() {
         single_eps / 1e6
     );
 
+    // Telemetry-enabled overhead: the same workload with a ring sink.
+    let (ring_events, ring_wall, recorded) = ring_run(scale, iters, seed());
+    assert_eq!(
+        events, ring_events,
+        "a telemetry sink changed the event count — the observe-only contract is broken"
+    );
+    let ring_eps = ring_events as f64 / ring_wall.max(1e-9);
+    println!(
+        "with ring sink   : {recorded} telemetry events recorded  ->  {:.3} M events/sec ({:+.1}% vs disabled)",
+        ring_eps / 1e6,
+        (ring_eps / single_eps - 1.0) * 100.0
+    );
+
+    // Wall-clock attribution by event kind.
+    let profile = profiled_run(scale, iters, seed());
+    println!("profile (wall-clock by event kind):");
+    println!(
+        "  {:<14} {:>12} {:>10} {:>10} {:>7}",
+        "kind", "events", "ms", "ns/event", "share"
+    );
+    for e in profile.by_time() {
+        println!(
+            "  {:<14} {:>12} {:>10.2} {:>10.1} {:>6.1}%",
+            e.label,
+            e.events,
+            e.nanos as f64 / 1e6,
+            e.ns_per_event(),
+            profile.share(&e) * 100.0
+        );
+    }
+
+    // Regression-check mode: compare against the committed baseline and
+    // leave it untouched.
+    if let Ok(frac) = std::env::var("MLTCP_PERF_CHECK") {
+        let frac: f64 = frac.parse().unwrap_or(0.05);
+        let path = bench_path();
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("MLTCP_PERF_CHECK: cannot read {}: {e}", path.display()));
+        let baseline = baseline_events_per_sec(&text)
+            .expect("BENCH_PR1.json has single_thread.events_per_sec");
+        let floor = baseline * (1.0 - frac);
+        println!(
+            "perf check       : measured {:.3} M events/sec vs baseline {:.3} M (floor {:.3} M at -{:.0}%)",
+            single_eps / 1e6,
+            baseline / 1e6,
+            floor / 1e6,
+            frac * 100.0
+        );
+        assert!(
+            single_eps >= floor,
+            "disabled-telemetry throughput regressed more than {:.0}% below the committed baseline",
+            frac * 100.0
+        );
+        println!("perf check       : OK (baseline left untouched)");
+        return;
+    }
+
     // The sweep: one job per seed, inline vs all cores.
     let seeds: Vec<u64> = (0..8).map(|i| seed() + 7 * i).collect();
     let (seq_events, seq_wall) = sweep_run(scale, iters, &seeds, 1);
@@ -112,6 +231,38 @@ fn main() {
                 ("wall_secs", Json::Num(wall)),
                 ("events_per_sec", Json::Num(single_eps)),
             ]),
+        ),
+        (
+            "telemetry_overhead",
+            Json::obj([
+                ("sink", Json::str("ring recorder, 65536 events")),
+                ("events", Json::Num(ring_events as f64)),
+                ("wall_secs", Json::Num(ring_wall)),
+                ("events_per_sec", Json::Num(ring_eps)),
+                ("telemetry_events_recorded", Json::Num(recorded as f64)),
+                (
+                    "overhead_frac",
+                    Json::Num(1.0 - ring_eps / single_eps.max(1e-9)),
+                ),
+            ]),
+        ),
+        (
+            "profile",
+            Json::Arr(
+                profile
+                    .by_time()
+                    .iter()
+                    .map(|e| {
+                        Json::obj([
+                            ("kind", Json::str(e.label)),
+                            ("events", Json::Num(e.events as f64)),
+                            ("nanos", Json::Num(e.nanos as f64)),
+                            ("ns_per_event", Json::Num(e.ns_per_event())),
+                            ("share", Json::Num(profile.share(e))),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
         (
             "sweep",

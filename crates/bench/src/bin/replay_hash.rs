@@ -11,22 +11,13 @@
 //! binary, so a determinism failure can be bisected at other operating
 //! points.
 
-use mltcp_bench::experiments::{fig2_jobs, mix_deadline, FaultCase, PlanKind};
+use mltcp_bench::experiments::{
+    fig2_jobs, mix_deadline, scenario_replay_hash, FaultCase, PlanKind,
+};
 use mltcp_bench::{iters_or, scale, seed};
 use mltcp_netsim::fault::GilbertElliott;
 use mltcp_netsim::time::{SimDuration, SimTime};
 use mltcp_workload::scenario::{CongestionSpec, FnSpec, LinkFault};
-use mltcp_workload::JobDriver;
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x1_0000_01b3;
-
-fn fnv1a(hash: &mut u64, value: u64) {
-    for byte in value.to_le_bytes() {
-        *hash ^= u64::from(byte);
-        *hash = hash.wrapping_mul(FNV_PRIME);
-    }
-}
 
 fn main() {
     let scale = scale();
@@ -62,22 +53,12 @@ fn main() {
             model: GilbertElliott::bursty(0.08, 0.25, 0.4),
         })
         .build();
+    // Stream the run's telemetry when requested; the sink never perturbs
+    // the hash (that invariant has its own tests).
+    mltcp_bench::attach_trace(&mut sc, "replay");
     sc.run(mix_deadline(scale, iters));
     assert!(sc.all_finished(), "faulted replay did not finish");
+    sc.take_telemetry();
 
-    let mut hash = FNV_OFFSET;
-    for job in &sc.jobs {
-        let driver = sc.sim.agent::<JobDriver>(job.driver);
-        for r in driver.records() {
-            fnv1a(&mut hash, u64::from(r.index));
-            fnv1a(&mut hash, r.start.as_nanos());
-            fnv1a(&mut hash, r.comm_start.as_nanos());
-            fnv1a(&mut hash, r.end.as_nanos());
-        }
-    }
-    let stats = sc.sim.stats();
-    fnv1a(&mut hash, stats.delivered);
-    fnv1a(&mut hash, stats.dropped);
-    fnv1a(&mut hash, sc.sim.now().as_nanos());
-    println!("{hash:016x}");
+    println!("{:016x}", scenario_replay_hash(&sc));
 }

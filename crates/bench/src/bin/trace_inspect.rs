@@ -1,0 +1,268 @@
+//! **trace_inspect** — offline viewer for JSONL telemetry traces.
+//!
+//! Every figure binary accepts `--trace out.jsonl` and streams one trace
+//! per scenario (`out-<label>.jsonl`). This binary turns such a trace
+//! back into the paper's mental pictures:
+//!
+//! * a per-job **interleaving timeline** (communication phases rendered
+//!   against a common time axis — the Fig. 2/Fig. 6 view of whether jobs
+//!   share the bottleneck by turn-taking);
+//! * a **gain-vs-iteration table** (how each MLTCP flow's
+//!   `F(bytes_ratio)` evolved — the feedback loop at work);
+//! * a **convergence verdict** per job (from the iteration durations
+//!   embedded in the `Phase` events, via the same
+//!   [`IterationStats::converged_after`] the figure binaries use).
+//!
+//! ```text
+//! cargo run --release -p mltcp-bench --bin fig2_schedules -- --trace t.jsonl
+//! cargo run --release -p mltcp-bench --bin trace_inspect -- t-mltcp-reno.jsonl
+//! cargo run --release -p mltcp-bench --bin trace_inspect -- --check t-mltcp-reno.jsonl
+//! ```
+//!
+//! `--check` validates the schema (header, version, field presence,
+//! monotone timestamps) and prints event counts without the reports —
+//! CI's trace gate. Exit status 1 on any validation error.
+
+use mltcp_telemetry::{EventKind, TelemetryEvent, Trace};
+use mltcp_workload::IterationStats;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Re-convergence tolerance for the verdict: within 5% of the job's own
+/// steady tail, matching the figure binaries.
+const REL_TOL: f64 = 0.05;
+const STEADY_K: usize = 5;
+
+/// Width of the rendered timeline, in character cells.
+const TIMELINE_COLS: usize = 100;
+
+/// `(compute_start, comm_start, end)` in nanoseconds; any field may be
+/// missing when the trace starts/ends mid-iteration.
+type IterBounds = (Option<u64>, Option<u64>, Option<u64>);
+
+/// One job's iteration boundaries reconstructed from `Phase` events.
+#[derive(Debug, Default)]
+struct JobPhases {
+    iters: BTreeMap<u32, IterBounds>,
+}
+
+impl JobPhases {
+    /// Completed iterations in index order: `(iter, start, comm, end)`.
+    fn complete(&self) -> Vec<(u32, u64, u64, u64)> {
+        self.iters
+            .iter()
+            .filter_map(|(&i, &(s, c, e))| Some((i, s?, c?, e?)))
+            .collect()
+    }
+}
+
+fn collect_phases(trace: &Trace) -> BTreeMap<u32, JobPhases> {
+    let mut jobs: BTreeMap<u32, JobPhases> = BTreeMap::new();
+    for ev in &trace.events {
+        if let TelemetryEvent::Phase {
+            t_ns,
+            job,
+            iter,
+            phase,
+        } = *ev
+        {
+            let slot = jobs.entry(job).or_default().iters.entry(iter).or_default();
+            match phase {
+                mltcp_telemetry::PhaseKind::ComputeStart => slot.0 = Some(t_ns),
+                mltcp_telemetry::PhaseKind::CommStart => slot.1 = Some(t_ns),
+                mltcp_telemetry::PhaseKind::IterEnd => slot.2 = Some(t_ns),
+            }
+        }
+    }
+    jobs
+}
+
+/// Renders each job's communication phases onto a shared time axis:
+/// `#` = communicating, `.` = computing/idle inside the job's lifetime.
+fn print_timelines(trace: &Trace, phases: &BTreeMap<u32, JobPhases>) {
+    let (mut t0, mut t1) = (u64::MAX, 0u64);
+    for jp in phases.values() {
+        for (_, s, _, e) in jp.complete() {
+            t0 = t0.min(s);
+            t1 = t1.max(e);
+        }
+    }
+    if t0 >= t1 {
+        println!("(no completed iterations — timeline skipped)");
+        return;
+    }
+    let span = (t1 - t0) as f64;
+    println!(
+        "interleaving timeline ({:.3} ms .. {:.3} ms, {} cols):",
+        t0 as f64 / 1e6,
+        t1 as f64 / 1e6,
+        TIMELINE_COLS
+    );
+    let cell = |t: u64| -> usize {
+        (((t.saturating_sub(t0)) as f64 / span) * (TIMELINE_COLS - 1) as f64).round() as usize
+    };
+    for (&job, jp) in phases {
+        let complete = jp.complete();
+        if complete.is_empty() {
+            continue;
+        }
+        let mut row = vec![' '; TIMELINE_COLS];
+        for &(_, s, c, e) in &complete {
+            for slot in row.iter_mut().take(cell(e) + 1).skip(cell(s)) {
+                *slot = '.';
+            }
+            for slot in row.iter_mut().take(cell(e) + 1).skip(cell(c)) {
+                *slot = '#';
+            }
+        }
+        println!(
+            "  {:<16} |{}|",
+            trace.job_label(job),
+            row.into_iter().collect::<String>()
+        );
+    }
+    println!("  ('#' = communication phase, '.' = compute; turn-taking '#' blocks = interleaved)");
+}
+
+/// Mean gain per (job, iteration window), from `Gain` events bucketed by
+/// the job's own phase boundaries.
+fn print_gain_table(trace: &Trace, phases: &BTreeMap<u32, JobPhases>) {
+    // job → sorted iteration windows (iter, start, end).
+    let windows: BTreeMap<u32, Vec<(u32, u64, u64)>> = phases
+        .iter()
+        .map(|(&j, jp)| {
+            (
+                j,
+                jp.complete()
+                    .iter()
+                    .map(|&(i, s, _, e)| (i, s, e))
+                    .collect(),
+            )
+        })
+        .collect();
+    // (job, iter) → (sum, count).
+    let mut acc: BTreeMap<(u32, u32), (f64, u64)> = BTreeMap::new();
+    let mut any = false;
+    for ev in &trace.events {
+        if let TelemetryEvent::Gain {
+            t_ns, job, gain, ..
+        } = *ev
+        {
+            any = true;
+            if let Some(ws) = windows.get(&job) {
+                if let Some(&(iter, _, _)) = ws.iter().find(|&&(_, s, e)| t_ns >= s && t_ns <= e) {
+                    let slot = acc.entry((job, iter)).or_insert((0.0, 0));
+                    slot.0 += gain;
+                    slot.1 += 1;
+                }
+            }
+        }
+    }
+    if !any {
+        println!("gain table: no Gain events in trace (plain CC, or gain never changed from 1)");
+        return;
+    }
+    let jobs: Vec<u32> = windows.keys().copied().collect();
+    let max_iter = acc.keys().map(|&(_, i)| i).max().unwrap_or(0);
+    println!("mean gain per iteration (blank = no change that iteration):");
+    print!("  {:>6}", "iter");
+    for &j in &jobs {
+        print!(" {:>16}", trace.job_label(j));
+    }
+    println!();
+    for i in 0..=max_iter {
+        // Only print rows where at least one job changed gain.
+        if jobs.iter().all(|&j| !acc.contains_key(&(j, i))) {
+            continue;
+        }
+        print!("  {i:>6}");
+        for &j in &jobs {
+            match acc.get(&(j, i)) {
+                Some(&(sum, n)) => print!(" {:>16.3}", sum / n as f64),
+                None => print!(" {:>16}", ""),
+            }
+        }
+        println!();
+    }
+}
+
+/// Per-job convergence verdict from the embedded iteration durations.
+fn print_verdict(trace: &Trace, phases: &BTreeMap<u32, JobPhases>) {
+    println!(
+        "convergence verdict (tol {:.0}%, steady tail {STEADY_K}):",
+        REL_TOL * 100.0
+    );
+    for (&job, jp) in phases {
+        let durations: Vec<f64> = jp
+            .complete()
+            .iter()
+            .map(|&(_, s, _, e)| (e - s) as f64 / 1e9)
+            .collect();
+        let n = durations.len();
+        let stats = IterationStats::from_durations(durations);
+        let verdict = match stats.converged_after(REL_TOL, STEADY_K) {
+            Some(k) => format!("CONVERGED after iteration {k}"),
+            None => "NOT CONVERGED within the trace".to_string(),
+        };
+        println!(
+            "  {:<16} {n:>4} iterations, steady tail {:.3} ms — {verdict}",
+            trace.job_label(job),
+            stats.tail_mean(STEADY_K) * 1e3
+        );
+    }
+}
+
+fn print_event_counts(trace: &Trace) {
+    let mut counts = [0u64; EventKind::COUNT];
+    for ev in &trace.events {
+        counts[ev.kind().index()] += 1;
+    }
+    println!("{} events, {} jobs:", trace.events.len(), trace.jobs.len());
+    for kind in EventKind::ALL {
+        if counts[kind.index()] > 0 {
+            println!("  {:<8} {:>10}", kind.name(), counts[kind.index()]);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut path = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            _ => path = Some(arg),
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: trace_inspect [--check] <trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+
+    let trace = match Trace::read(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: INVALID — {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("== {path}");
+    print_event_counts(&trace);
+    if check {
+        println!("schema: OK (header, version, fields, monotone timestamps)");
+        return ExitCode::SUCCESS;
+    }
+
+    let phases = collect_phases(&trace);
+    if phases.is_empty() {
+        println!("(no Phase events — was the trace taken from a scenario run?)");
+        return ExitCode::SUCCESS;
+    }
+    println!();
+    print_timelines(&trace, &phases);
+    println!();
+    print_gain_table(&trace, &phases);
+    println!();
+    print_verdict(&trace, &phases);
+    ExitCode::SUCCESS
+}

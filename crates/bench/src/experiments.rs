@@ -302,6 +302,42 @@ pub fn reconverge_after(durations: &[f64], fault_idx: usize, rel_tol: f64) -> Op
     }
 }
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1_0000_01b3;
+
+fn fnv1a(hash: &mut u64, value: u64) {
+    for byte in value.to_le_bytes() {
+        *hash ^= u64::from(byte);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// FNV-1a fingerprint of a finished scenario: every iteration record of
+/// every job plus the simulator's delivery/drop counters and final clock.
+///
+/// Two runs of the same scenario hash equal iff their event sequences
+/// were identical — the repository's determinism contract. The telemetry
+/// determinism tests compare this hash across sink configurations
+/// (no sink / no-op / ring / JSONL) to prove sinks observe without
+/// perturbing; `replay_hash` prints it for CI's run-twice check.
+pub fn scenario_replay_hash(sc: &Scenario) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for job in &sc.jobs {
+        let driver = sc.sim.agent::<mltcp_workload::JobDriver>(job.driver);
+        for r in driver.records() {
+            fnv1a(&mut hash, u64::from(r.index));
+            fnv1a(&mut hash, r.start.as_nanos());
+            fnv1a(&mut hash, r.comm_start.as_nanos());
+            fnv1a(&mut hash, r.end.as_nanos());
+        }
+    }
+    let stats = sc.sim.stats();
+    fnv1a(&mut hash, stats.delivered);
+    fnv1a(&mut hash, stats.dropped);
+    fnv1a(&mut hash, sc.sim.now().as_nanos());
+    hash
+}
+
 /// Everything a figure binary needs from a finished scenario, as plain
 /// `Send` data.
 ///

@@ -19,6 +19,12 @@
 //!   times but takes ~100× longer to simulate).
 //! * `MLTCP_SEED` — base RNG seed (default 42).
 //! * `MLTCP_ITERS` — training iterations per job (default figure-specific).
+//!
+//! Every binary also honors `--trace out.jsonl` (or `MLTCP_TRACE`):
+//! each scenario the binary runs streams its telemetry to
+//! `out-<label>.jsonl`, readable with the `trace_inspect` binary.
+//! Tracing never changes results — instrumented runs are event-for-event
+//! identical to uninstrumented ones.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -67,6 +73,70 @@ pub fn deadline(expected_secs: f64) -> SimTime {
 /// phase, the paper's "slight variations" regime.
 pub fn default_noise(compute: SimDuration) -> SimDuration {
     compute.mul_f64(0.01)
+}
+
+/// The telemetry trace base path from `--trace PATH` / `--trace=PATH`
+/// on the command line, or the `MLTCP_TRACE` environment variable.
+/// `None` (the common case) disables tracing entirely.
+pub fn trace_base() -> Option<PathBuf> {
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        if arg == "--trace" {
+            return argv.next().map(PathBuf::from);
+        }
+        if let Some(path) = arg.strip_prefix("--trace=") {
+            return Some(PathBuf::from(path));
+        }
+    }
+    std::env::var("MLTCP_TRACE").ok().map(PathBuf::from)
+}
+
+/// The per-scenario trace path for `label`: `<stem>-<label>.jsonl` next
+/// to the base path (slashes in the label become dashes).
+pub fn trace_path(base: &std::path::Path, label: &str) -> PathBuf {
+    let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    let safe: String = label
+        .chars()
+        .map(|c| {
+            if c == '/' || c.is_whitespace() {
+                '-'
+            } else {
+                c
+            }
+        })
+        .collect();
+    base.with_file_name(format!("{stem}-{safe}.jsonl"))
+}
+
+/// Attaches a streaming JSONL telemetry sink to the scenario when the
+/// binary was invoked with `--trace` (or `MLTCP_TRACE`); no-op otherwise.
+/// Each traced scenario needs a unique `label` so parallel sweep workers
+/// write distinct files.
+pub fn attach_trace(sc: &mut Scenario, label: &str) {
+    let Some(base) = trace_base() else { return };
+    let path = trace_path(&base, label);
+    match mltcp_telemetry::JsonlSink::create(&path) {
+        Ok(sink) => {
+            sc.set_telemetry(Box::new(sink));
+            eprintln!("[tracing {label} -> {}]", path.display());
+        }
+        Err(e) => eprintln!("warning: could not create trace {}: {e}", path.display()),
+    }
+}
+
+/// [`attach_trace`] for binaries that drive a raw
+/// [`mltcp_netsim::sim::Simulator`] without the `Scenario` wrapper (no
+/// job table is written, so events carry flow/job ids only).
+pub fn attach_trace_sim(sim: &mut mltcp_netsim::sim::Simulator, label: &str) {
+    let Some(base) = trace_base() else { return };
+    let path = trace_path(&base, label);
+    match mltcp_telemetry::JsonlSink::create(&path) {
+        Ok(sink) => {
+            sim.set_sink(Box::new(sink));
+            eprintln!("[tracing {label} -> {}]", path.display());
+        }
+        Err(e) => eprintln!("warning: could not create trace {}: {e}", path.display()),
+    }
 }
 
 /// One labelled data series (a line in a figure).

@@ -80,8 +80,11 @@ impl QueueKind {
 /// Result of offering a packet to a queue.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EnqueueOutcome {
-    /// Packet accepted (possibly ECN-marked in place).
+    /// Packet accepted unchanged.
     Accepted,
+    /// Packet accepted and a CE mark was applied (ECN-capable arrival
+    /// over the marking threshold).
+    AcceptedMarked,
     /// The offered packet was dropped.
     DroppedArrival(Packet),
     /// The offered packet was accepted and a lower-urgency victim was
@@ -138,16 +141,22 @@ impl Queue for FifoQueue {
         if self.bytes + size > self.cap_bytes {
             return EnqueueOutcome::DroppedArrival(pkt);
         }
+        let mut marked = false;
         if let Some(k) = self.mark_threshold {
             // DCTCP marks based on the instantaneous queue occupancy seen
             // by the arriving packet.
             if self.bytes > k && pkt.ecn.is_capable() {
                 pkt.ecn = EcnCodepoint::CongestionExperienced;
+                marked = true;
             }
         }
         self.bytes += size;
         self.queue.push_back(pkt);
-        EnqueueOutcome::Accepted
+        if marked {
+            EnqueueOutcome::AcceptedMarked
+        } else {
+            EnqueueOutcome::Accepted
+        }
     }
 
     fn dequeue(&mut self) -> Option<Packet> {
@@ -314,9 +323,9 @@ mod tests {
         q.enqueue(pkt(1, 1500, 0));
         assert_eq!(q.backlog_bytes(), 1540);
         // Capable arrival sees backlog 1540 > 1000 → marked.
-        q.enqueue(ecn_pkt(100));
+        assert_eq!(q.enqueue(ecn_pkt(100)), EnqueueOutcome::AcceptedMarked);
         // Non-capable arrival is never marked.
-        q.enqueue(pkt(2, 100, 0));
+        assert_eq!(q.enqueue(pkt(2, 100, 0)), EnqueueOutcome::Accepted);
         q.dequeue(); // the first 1500B packet
         let marked = q.dequeue().unwrap();
         assert!(marked.ecn.is_marked());
@@ -327,7 +336,7 @@ mod tests {
     #[test]
     fn ecn_does_not_mark_below_threshold() {
         let mut q = FifoQueue::new(1_000_000, Some(10_000));
-        q.enqueue(ecn_pkt(1500));
+        assert_eq!(q.enqueue(ecn_pkt(1500)), EnqueueOutcome::Accepted);
         assert!(!q.dequeue().unwrap().ecn.is_marked());
     }
 

@@ -30,7 +30,24 @@ use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 use crate::trace::BandwidthTrace;
+use mltcp_telemetry::{
+    DropReason, FaultKind, ProfileSnapshot, SimProfiler, TelemetryEvent, TelemetrySink,
+};
 use std::any::Any;
+
+/// Labels for the sim-time profiler, in [`SimProfiler::record`] index
+/// order: one per event kind, plus agent start-up.
+const PROFILE_LABELS: [&str; 6] = [
+    "channel_idle",
+    "deliver",
+    "timer",
+    "message",
+    "fault",
+    "agent_start",
+];
+
+/// Profiler label index for agent start-up handlers.
+const PROFILE_AGENT_START: usize = 5;
 
 /// Handle to an agent registered with a simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -113,6 +130,11 @@ struct SimCore {
     #[allow(clippy::vec_box)]
     pkt_pool: Vec<Box<Delivery>>,
     stats: SimStats,
+    /// Installed telemetry sink, if any. Emission sites gate on
+    /// `is_some()` and construct events only in the taken branch, so the
+    /// disabled path costs one predictable branch per would-be event.
+    /// Sinks observe — they can never touch the event queue or RNGs.
+    sink: Option<Box<dyn TelemetrySink>>,
 }
 
 impl SimCore {
@@ -150,18 +172,60 @@ impl SimCore {
     /// Offers a packet to a channel's egress queue and kicks the
     /// serializer if idle.
     fn enqueue_on(&mut self, link: LinkId, pkt: Packet) {
-        match self.queues[link.index()].enqueue(pkt) {
-            EnqueueOutcome::Accepted => {}
-            EnqueueOutcome::DroppedArrival(_) => {
-                self.stats.dropped += 1;
-                self.topo.channels[link.index()].packets_dropped += 1;
+        let li = link.index();
+        let flow = pkt.flow;
+        match self.queues[li].enqueue(pkt) {
+            EnqueueOutcome::Accepted => {
+                if let Some(sink) = self.sink.as_mut() {
+                    sink.record(&TelemetryEvent::QueueDepth {
+                        t_ns: self.now.as_nanos(),
+                        link: li as u32,
+                        bytes: self.queues[li].backlog_bytes(),
+                        packets: self.queues[li].backlog_packets() as u32,
+                    });
+                }
             }
-            EnqueueOutcome::Evicted(_) => {
+            EnqueueOutcome::AcceptedMarked => {
+                if let Some(sink) = self.sink.as_mut() {
+                    sink.record(&TelemetryEvent::EcnMark {
+                        t_ns: self.now.as_nanos(),
+                        link: li as u32,
+                        flow: flow.0,
+                    });
+                    sink.record(&TelemetryEvent::QueueDepth {
+                        t_ns: self.now.as_nanos(),
+                        link: li as u32,
+                        bytes: self.queues[li].backlog_bytes(),
+                        packets: self.queues[li].backlog_packets() as u32,
+                    });
+                }
+            }
+            EnqueueOutcome::DroppedArrival(p) => {
                 self.stats.dropped += 1;
-                self.topo.channels[link.index()].packets_dropped += 1;
+                self.topo.channels[li].packets_dropped += 1;
+                if let Some(sink) = self.sink.as_mut() {
+                    sink.record(&TelemetryEvent::Drop {
+                        t_ns: self.now.as_nanos(),
+                        link: li as u32,
+                        flow: p.flow.0,
+                        reason: DropReason::QueueFull,
+                    });
+                }
+            }
+            EnqueueOutcome::Evicted(victim) => {
+                self.stats.dropped += 1;
+                self.topo.channels[li].packets_dropped += 1;
+                if let Some(sink) = self.sink.as_mut() {
+                    sink.record(&TelemetryEvent::Drop {
+                        t_ns: self.now.as_nanos(),
+                        link: li as u32,
+                        flow: victim.flow.0,
+                        reason: DropReason::Evicted,
+                    });
+                }
             }
         }
-        if !self.topo.channels[link.index()].busy {
+        if !self.topo.channels[li].busy {
             self.start_tx(link);
         }
     }
@@ -197,9 +261,29 @@ impl SimCore {
         if self.loss[li].drops_packet(&mut self.link_rngs[li]) {
             self.stats.dropped += 1;
             self.topo.channels[li].packets_dropped += 1;
+            if let Some(sink) = self.sink.as_mut() {
+                sink.record(&TelemetryEvent::Drop {
+                    t_ns: self.now.as_nanos(),
+                    link: li as u32,
+                    flow: pkt.flow.0,
+                    reason: DropReason::RandomLoss,
+                });
+            }
         } else {
             let d = self.boxed(to, link, epoch, pkt);
             self.events.schedule(arrival, EventKind::Deliver(d));
+        }
+    }
+
+    /// Records a fault epoch on the sink, if one is installed.
+    fn emit_fault(&mut self, link: LinkId, kind: FaultKind, factor: f64) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(&TelemetryEvent::Fault {
+                t_ns: self.now.as_nanos(),
+                link: link.index() as u32,
+                kind,
+                factor,
+            });
         }
     }
 
@@ -215,10 +299,19 @@ impl SimCore {
                     // longer matches, so arrival drops them.
                     ch.epoch = ch.epoch.wrapping_add(1);
                 }
+                self.emit_fault(link, FaultKind::LinkDown, 1.0);
                 // Queued packets die with the link.
                 let mut drained = 0u64;
-                while self.queues[li].dequeue().is_some() {
+                while let Some(p) = self.queues[li].dequeue() {
                     drained += 1;
+                    if let Some(sink) = self.sink.as_mut() {
+                        sink.record(&TelemetryEvent::Drop {
+                            t_ns: self.now.as_nanos(),
+                            link: li as u32,
+                            flow: p.flow.0,
+                            reason: DropReason::Drained,
+                        });
+                    }
                 }
                 self.stats.dropped += drained;
                 self.topo.channels[li].packets_dropped += drained;
@@ -226,6 +319,7 @@ impl SimCore {
             FaultAction::LinkUp { link } => {
                 let li = link.index();
                 self.topo.channels[li].up = true;
+                self.emit_fault(link, FaultKind::LinkUp, 1.0);
                 // Resume egress for traffic that queued during the
                 // outage (unless a doomed serialization is still
                 // pending, in which case its ChannelIdle resumes us).
@@ -234,14 +328,18 @@ impl SimCore {
                 }
             }
             FaultAction::SetRateFactor { link, factor } => {
-                self.topo.channels[link.index()].rate_factor = factor.max(1e-6);
+                let factor = factor.max(1e-6);
+                self.topo.channels[link.index()].rate_factor = factor;
+                self.emit_fault(link, FaultKind::RateFactor, factor);
             }
             FaultAction::SetLoss { link, model } => {
                 self.loss[link.index()] = LossState::new(model);
+                self.emit_fault(link, FaultKind::LossModel, 1.0);
             }
             FaultAction::RestoreLoss { link } => {
                 let p = self.topo.channels[link.index()].spec.loss_probability;
                 self.loss[link.index()] = LossState::new(LossModel::Bernoulli(p));
+                self.emit_fault(link, FaultKind::LossRestore, 1.0);
             }
         }
     }
@@ -252,6 +350,14 @@ impl SimCore {
             Some(link) => self.enqueue_on(link, pkt),
             None => {
                 self.stats.dropped += 1;
+                if let Some(sink) = self.sink.as_mut() {
+                    sink.record(&TelemetryEvent::Drop {
+                        t_ns: self.now.as_nanos(),
+                        link: TelemetryEvent::NO_LINK,
+                        flow: pkt.flow.0,
+                        reason: DropReason::NoRoute,
+                    });
+                }
             }
         }
     }
@@ -326,6 +432,24 @@ impl AgentCtx<'_> {
         &mut self.core.rng
     }
 
+    /// Whether a telemetry sink is installed. Emitters gate on this so
+    /// event construction (and any formatting behind it) happens only
+    /// when someone is listening.
+    #[inline]
+    pub fn telemetry_enabled(&self) -> bool {
+        self.core.sink.is_some()
+    }
+
+    /// Records a telemetry event on the installed sink (no-op without
+    /// one). Purely observational: the sink cannot reach back into the
+    /// simulation.
+    #[inline]
+    pub fn emit(&mut self, ev: TelemetryEvent) {
+        if let Some(sink) = self.core.sink.as_mut() {
+            sink.record(&ev);
+        }
+    }
+
     /// Read-only view of the topology (e.g. to compute a path's BDP).
     pub fn topology(&self) -> &Topology {
         &self.core.topo
@@ -342,6 +466,8 @@ pub struct Simulator {
     core: SimCore,
     agents: Vec<AgentSlot>,
     started: bool,
+    /// Wall-clock attribution per event kind, when enabled.
+    profiler: Option<SimProfiler>,
 }
 
 impl Simulator {
@@ -374,9 +500,11 @@ impl Simulator {
                 agent_hosts: Vec::new(),
                 pkt_pool: Vec::new(),
                 stats: SimStats::default(),
+                sink: None,
             },
             agents: Vec::new(),
             started: false,
+            profiler: None,
         }
     }
 
@@ -426,6 +554,34 @@ impl Simulator {
     /// Enables per-flow bandwidth tracing on a channel.
     pub fn enable_trace(&mut self, link: LinkId, bin: SimDuration) {
         self.core.traces[link.index()] = Some(BandwidthTrace::new(bin));
+    }
+
+    /// Installs a telemetry sink; subsequent simulation activity streams
+    /// structured events into it. Replaces any previous sink.
+    pub fn set_sink(&mut self, sink: Box<dyn TelemetrySink>) {
+        self.core.sink = Some(sink);
+    }
+
+    /// Detaches the telemetry sink (flushed), e.g. to downcast a
+    /// recorder back to its concrete type after a run.
+    pub fn take_sink(&mut self) -> Option<Box<dyn TelemetrySink>> {
+        let mut sink = self.core.sink.take()?;
+        sink.flush();
+        Some(sink)
+    }
+
+    /// Enables the sim-time profiler: every subsequent dispatch is
+    /// timed with a wall clock and attributed to its event kind. This
+    /// costs two `Instant` reads per event, so it is off by default and
+    /// intended for `perf_report`-style diagnosis, not routine runs. It
+    /// never affects simulation results — only wall-clock accounting.
+    pub fn enable_profiler(&mut self) {
+        self.profiler = Some(SimProfiler::new(&PROFILE_LABELS));
+    }
+
+    /// The profiler's attribution so far, if enabled.
+    pub fn profile_snapshot(&self) -> Option<ProfileSnapshot> {
+        self.profiler.as_ref().map(SimProfiler::snapshot)
     }
 
     /// The trace collected on `link`, if tracing was enabled.
@@ -479,7 +635,16 @@ impl Simulator {
         }
         self.started = true;
         for i in 0..self.agents.len() {
-            self.with_agent(i, |agent, ctx| agent.start(ctx));
+            if self.profiler.is_some() {
+                let t0 = std::time::Instant::now();
+                self.with_agent(i, |agent, ctx| agent.start(ctx));
+                let ns = t0.elapsed().as_nanos() as u64;
+                if let Some(p) = self.profiler.as_mut() {
+                    p.record(PROFILE_AGENT_START, ns);
+                }
+            } else {
+                self.with_agent(i, |agent, ctx| agent.start(ctx));
+            }
         }
     }
 
@@ -503,12 +668,36 @@ impl Simulator {
         r
     }
 
-    /// Dispatches one already-popped event.
+    /// Dispatches one already-popped event, timing it when the profiler
+    /// is enabled.
     fn dispatch(&mut self, ev: crate::event::Event) {
         debug_assert!(ev.at >= self.core.now, "time went backwards");
         self.core.now = ev.at;
         self.core.stats.events += 1;
-        match ev.kind {
+        if self.profiler.is_some() {
+            // Label indices match PROFILE_LABELS order.
+            let label = match ev.kind {
+                EventKind::ChannelIdle { .. } => 0,
+                EventKind::Deliver(_) => 1,
+                EventKind::Timer { .. } => 2,
+                EventKind::Message { .. } => 3,
+                EventKind::Fault { .. } => 4,
+            };
+            let t0 = std::time::Instant::now();
+            self.dispatch_kind(ev.kind);
+            let ns = t0.elapsed().as_nanos() as u64;
+            if let Some(p) = self.profiler.as_mut() {
+                p.record(label, ns);
+            }
+        } else {
+            self.dispatch_kind(ev.kind);
+        }
+    }
+
+    /// The dispatch body proper (separate so [`Simulator::dispatch`] can
+    /// wrap it with wall-clock attribution).
+    fn dispatch_kind(&mut self, kind: EventKind) {
+        match kind {
             EventKind::ChannelIdle { link } => {
                 self.core.start_tx(link);
             }
@@ -524,6 +713,14 @@ impl Simulator {
                 {
                     self.core.stats.dropped += 1;
                     self.core.topo.channels[dv.via.index()].packets_dropped += 1;
+                    if let Some(sink) = self.core.sink.as_mut() {
+                        sink.record(&TelemetryEvent::Drop {
+                            t_ns: self.core.now.as_nanos(),
+                            link: dv.via.index() as u32,
+                            flow: dv.pkt.flow.0,
+                            reason: DropReason::LinkCut,
+                        });
+                    }
                     return;
                 }
                 let (node, p) = (dv.node, dv.pkt);
@@ -538,6 +735,14 @@ impl Simulator {
                             // No transport bound: the packet is dropped
                             // at the host (like a RST-less closed port).
                             self.core.stats.dropped += 1;
+                            if let Some(sink) = self.core.sink.as_mut() {
+                                sink.record(&TelemetryEvent::Drop {
+                                    t_ns: self.core.now.as_nanos(),
+                                    link: TelemetryEvent::NO_LINK,
+                                    flow: p.flow.0,
+                                    reason: DropReason::Unbound,
+                                });
+                            }
                         }
                     },
                 }
@@ -966,6 +1171,116 @@ mod tests {
             )
         };
         assert_eq!(observables(), observables());
+    }
+
+    /// Installing a telemetry sink must not change a single observable:
+    /// same echoes, drops, event count, and final clock as a bare run —
+    /// while the recorder sees every drop the stats counted.
+    #[test]
+    fn telemetry_sink_observes_without_perturbing() {
+        use mltcp_telemetry::RingRecorder;
+        let run = |with_sink: bool| {
+            let plan = FaultPlan::new()
+                .link_flap(
+                    LinkId(0),
+                    SimTime::from_secs_f64(40e-6),
+                    SimDuration::micros(80),
+                )
+                .loss_window(
+                    LinkId(0),
+                    SimTime::from_secs_f64(200e-6),
+                    SimDuration::micros(200),
+                    LossModel::GilbertElliott(GilbertElliott::bursty(0.2, 0.3, 0.9)),
+                );
+            let (mut sim, h0, h1) = two_host_sim(Bandwidth::gbps(1), SimDuration::micros(5), 0.1);
+            let flow = FlowId(1);
+            let pinger = sim.add_agent(
+                h0,
+                Pinger {
+                    peer: h1,
+                    flow,
+                    pkts: 100,
+                    echoes: 0,
+                    last_echo_at: SimTime::ZERO,
+                },
+            );
+            let echoer = sim.add_agent(h1, Echoer { received: 0 });
+            sim.bind_flow(flow, pinger);
+            sim.bind_flow(flow, echoer);
+            sim.install_faults(&plan);
+            if with_sink {
+                sim.set_sink(Box::new(RingRecorder::new(1 << 16)));
+            }
+            sim.run();
+            let recorder = sim.take_sink().map(|s| {
+                *s.into_any()
+                    .downcast::<RingRecorder>()
+                    .expect("ring recorder")
+            });
+            (
+                sim.agent::<Pinger>(pinger).echoes,
+                sim.stats().dropped,
+                sim.stats().events,
+                sim.now(),
+                recorder,
+            )
+        };
+        let (e0, d0, n0, t0, none) = run(false);
+        let (e1, d1, n1, t1, some) = run(true);
+        assert!(none.is_none());
+        assert_eq!((e0, d0, n0, t0), (e1, d1, n1, t1), "sink perturbed the run");
+        let rec = some.expect("recorder returned");
+        assert_eq!(rec.overwritten(), 0, "ring too small for this test");
+        let drop_events = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TelemetryEvent::Drop { .. }))
+            .count() as u64;
+        assert_eq!(drop_events, d1, "every counted drop must be recorded");
+        let faults = rec
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TelemetryEvent::Fault { .. }))
+            .count();
+        // link_flap = down + up; loss_window = set + restore.
+        assert_eq!(faults, 4);
+    }
+
+    /// The profiler attributes every dispatched event (plus agent
+    /// start-up) and leaves results untouched.
+    #[test]
+    fn profiler_attributes_all_events() {
+        let (mut sim, h0, h1) = two_host_sim(Bandwidth::gbps(10), SimDuration::micros(10), 0.0);
+        let flow = FlowId(1);
+        let pinger = sim.add_agent(
+            h0,
+            Pinger {
+                peer: h1,
+                flow,
+                pkts: 10,
+                echoes: 0,
+                last_echo_at: SimTime::ZERO,
+            },
+        );
+        let echoer = sim.add_agent(h1, Echoer { received: 0 });
+        sim.bind_flow(flow, pinger);
+        sim.bind_flow(flow, echoer);
+        sim.enable_profiler();
+        sim.run();
+        assert_eq!(sim.agent::<Pinger>(pinger).echoes, 10);
+        let snap = sim.profile_snapshot().expect("profiler enabled");
+        let agent_starts = snap
+            .entries
+            .iter()
+            .find(|e| e.label == "agent_start")
+            .expect("agent_start label");
+        assert_eq!(agent_starts.events, 2);
+        assert_eq!(
+            snap.total_events(),
+            sim.stats().events + agent_starts.events
+        );
+        let delivers = snap.entries.iter().find(|e| e.label == "deliver").unwrap();
+        assert_eq!(delivers.events, 20); // 10 data + 10 acks
     }
 
     #[test]

@@ -14,21 +14,49 @@ pub struct BandwidthTrace {
     /// `bins[flow][i]` = bytes of `flow` serialized during bin `i`.
     per_flow: BTreeMap<FlowId, Vec<u64>>,
     total: Vec<u64>,
+    /// Bin-count ceiling ([`BandwidthTrace::MAX_BINS`] by default).
+    max_bins: usize,
+    /// Records whose bin index saturated at the ceiling.
+    saturated: u64,
 }
 
 impl BandwidthTrace {
+    /// Default ceiling on the number of bins. A record landing past the
+    /// ceiling saturates into the last bin instead of growing the series
+    /// without bound (or, on 32-bit targets, silently aliasing a
+    /// truncated index). 16 Mi bins at the default 1 ms bin ≈ 4.7
+    /// simulated hours.
+    pub const MAX_BINS: usize = 1 << 24;
+
     /// Creates a trace with the given bin width.
     pub fn new(bin: SimDuration) -> Self {
         Self {
             bin: SimDuration(bin.as_nanos().max(1)),
             per_flow: BTreeMap::new(),
             total: Vec::new(),
+            max_bins: Self::MAX_BINS,
+            saturated: 0,
         }
     }
 
+    /// Overrides the bin-count ceiling (min 1).
+    pub fn with_max_bins(mut self, max_bins: usize) -> Self {
+        self.max_bins = max_bins.max(1);
+        self
+    }
+
     /// Records `bytes` of `flow` completing serialization at `at`.
+    ///
+    /// Timestamps beyond the bin ceiling saturate into the last bin and
+    /// are counted in [`BandwidthTrace::saturated_records`].
     pub fn record(&mut self, at: SimTime, flow: FlowId, bytes: u32) {
-        let idx = (at.as_nanos() / self.bin.as_nanos()) as usize;
+        let raw = at.as_nanos() / self.bin.as_nanos();
+        let idx = if raw >= self.max_bins as u64 {
+            self.saturated += 1;
+            self.max_bins - 1
+        } else {
+            raw as usize
+        };
         let series = self.per_flow.entry(flow).or_default();
         if series.len() <= idx {
             series.resize(idx + 1, 0);
@@ -43,6 +71,23 @@ impl BandwidthTrace {
     /// The bin width.
     pub fn bin(&self) -> SimDuration {
         self.bin
+    }
+
+    /// The bin width (alias of [`BandwidthTrace::bin`], paired with
+    /// [`BandwidthTrace::bins`] for offline tooling).
+    pub fn bin_width(&self) -> SimDuration {
+        self.bin
+    }
+
+    /// Number of bins in the aggregate series.
+    pub fn bins(&self) -> usize {
+        self.total.len()
+    }
+
+    /// How many records saturated at the bin ceiling (0 in any run short
+    /// enough for its bin width).
+    pub fn saturated_records(&self) -> u64 {
+        self.saturated
     }
 
     /// Flows observed, in id order.
@@ -126,6 +171,20 @@ mod tests {
         let t = BandwidthTrace::new(SimDuration::millis(1));
         assert!(t.bytes_series(FlowId(9)).is_empty());
         assert_eq!(t.flow_bytes(FlowId(9)), 0);
+    }
+
+    #[test]
+    fn record_saturates_at_bin_ceiling() {
+        let mut t = BandwidthTrace::new(SimDuration::millis(10)).with_max_bins(4);
+        t.record(SimTime(0), FlowId(1), 100);
+        // 1 simulated hour with a 4-bin ceiling: lands in the last bin.
+        t.record(SimTime::from_secs_f64(3600.0), FlowId(1), 200);
+        t.record(SimTime(u64::MAX), FlowId(1), 300);
+        assert_eq!(t.bytes_series(FlowId(1)), &[100, 0, 0, 500]);
+        assert_eq!(t.bins(), 4);
+        assert_eq!(t.saturated_records(), 2);
+        assert_eq!(t.flow_bytes(FlowId(1)), 600);
+        assert_eq!(t.bin_width(), SimDuration::millis(10));
     }
 
     #[test]

@@ -1,0 +1,438 @@
+//! The typed telemetry event vocabulary.
+//!
+//! Every event is a small `Copy` struct variant carrying raw primitives
+//! only — timestamps in nanoseconds, flow/link/job ids as integers — so
+//! emitting one costs a register-sized copy, never an allocation, and
+//! the crate stays a dependency-free leaf.
+
+/// Why a packet was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// Arrival exceeded the queue's byte capacity (drop-tail).
+    QueueFull,
+    /// Evicted from a strict-priority queue by a more urgent arrival.
+    Evicted,
+    /// The link's stochastic loss process fired.
+    RandomLoss,
+    /// Cut mid-flight when the carrying link went down (stale epoch).
+    LinkCut,
+    /// Drained from an egress queue when its link went down.
+    Drained,
+    /// No route from the node toward the destination.
+    NoRoute,
+    /// Arrived at a host with no agent bound to the flow.
+    Unbound,
+}
+
+impl DropReason {
+    /// All reasons, in serialization order.
+    pub const ALL: [DropReason; 7] = [
+        DropReason::QueueFull,
+        DropReason::Evicted,
+        DropReason::RandomLoss,
+        DropReason::LinkCut,
+        DropReason::Drained,
+        DropReason::NoRoute,
+        DropReason::Unbound,
+    ];
+
+    /// Stable short name (used in JSONL and metric names).
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::QueueFull => "queue_full",
+            DropReason::Evicted => "evicted",
+            DropReason::RandomLoss => "random_loss",
+            DropReason::LinkCut => "link_cut",
+            DropReason::Drained => "drained",
+            DropReason::NoRoute => "no_route",
+            DropReason::Unbound => "unbound",
+        }
+    }
+
+    /// Parses the short name back (inverse of [`DropReason::name`]).
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|r| r.name() == s)
+    }
+}
+
+/// Which loss-recovery mechanism fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RetxKind {
+    /// Fast retransmit (triple duplicate ack).
+    Fast,
+    /// Retransmission timeout.
+    Rto,
+}
+
+impl RetxKind {
+    /// Stable short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RetxKind::Fast => "fast",
+            RetxKind::Rto => "rto",
+        }
+    }
+
+    /// Parses the short name back.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "fast" => Some(RetxKind::Fast),
+            "rto" => Some(RetxKind::Rto),
+            _ => None,
+        }
+    }
+}
+
+/// An iteration-phase boundary in a training job's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseKind {
+    /// The iteration's compute phase began.
+    ComputeStart,
+    /// The communication phase (first burst) began.
+    CommStart,
+    /// The iteration completed (last transfer acked).
+    IterEnd,
+}
+
+impl PhaseKind {
+    /// Stable short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PhaseKind::ComputeStart => "compute",
+            PhaseKind::CommStart => "comm",
+            PhaseKind::IterEnd => "end",
+        }
+    }
+
+    /// Parses the short name back.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "compute" => Some(PhaseKind::ComputeStart),
+            "comm" => Some(PhaseKind::CommStart),
+            "end" => Some(PhaseKind::IterEnd),
+            _ => None,
+        }
+    }
+}
+
+/// Which fault action was applied to a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The link went down.
+    LinkDown,
+    /// The link came back up.
+    LinkUp,
+    /// The serialization rate was scaled by `factor` (brownout when < 1,
+    /// restore when back to 1).
+    RateFactor,
+    /// The loss model was replaced (bursty-loss window opened).
+    LossModel,
+    /// The configured loss model was restored (window closed).
+    LossRestore,
+}
+
+impl FaultKind {
+    /// Stable short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::LinkDown => "link_down",
+            FaultKind::LinkUp => "link_up",
+            FaultKind::RateFactor => "rate_factor",
+            FaultKind::LossModel => "loss_model",
+            FaultKind::LossRestore => "loss_restore",
+        }
+    }
+
+    /// Parses the short name back.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "link_down" => Some(FaultKind::LinkDown),
+            "link_up" => Some(FaultKind::LinkUp),
+            "rate_factor" => Some(FaultKind::RateFactor),
+            "loss_model" => Some(FaultKind::LossModel),
+            "loss_restore" => Some(FaultKind::LossRestore),
+            _ => None,
+        }
+    }
+}
+
+/// One telemetry event. All variants are `Copy` and carry a `t_ns`
+/// simulated-time stamp; sinks receive them in simulation order (the
+/// emitting layers run inside the deterministic event loop).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TelemetryEvent {
+    /// cwnd/ssthresh after a congestion-control update (good ack, fast
+    /// retransmit, or RTO collapse).
+    Cwnd {
+        /// Simulated time (ns).
+        t_ns: u64,
+        /// Flow id.
+        flow: u64,
+        /// Owning job index.
+        job: u32,
+        /// Congestion window, packets (fractional).
+        cwnd: f64,
+        /// Slow-start threshold, packets.
+        ssthresh: f64,
+    },
+    /// The MLTCP gain `F(bytes_ratio)` changed for a flow.
+    Gain {
+        /// Simulated time (ns).
+        t_ns: u64,
+        /// Flow id.
+        flow: u64,
+        /// Owning job index.
+        job: u32,
+        /// The gain applied to the base algorithm's increment.
+        gain: f64,
+        /// The iteration progress ratio that produced it.
+        bytes_ratio: f64,
+    },
+    /// A Karn-valid RTT sample.
+    Rtt {
+        /// Simulated time (ns).
+        t_ns: u64,
+        /// Flow id.
+        flow: u64,
+        /// Owning job index.
+        job: u32,
+        /// The sample, nanoseconds.
+        rtt_ns: u64,
+    },
+    /// An ECN-capable packet received a CE mark at a queue.
+    EcnMark {
+        /// Simulated time (ns).
+        t_ns: u64,
+        /// Link index of the marking queue.
+        link: u32,
+        /// Flow id of the marked packet.
+        flow: u64,
+    },
+    /// Queue backlog observed after an accepted enqueue.
+    QueueDepth {
+        /// Simulated time (ns).
+        t_ns: u64,
+        /// Link index.
+        link: u32,
+        /// Backlog, bytes.
+        bytes: u64,
+        /// Backlog, packets.
+        packets: u32,
+    },
+    /// A packet was dropped.
+    Drop {
+        /// Simulated time (ns).
+        t_ns: u64,
+        /// Link index ([`TelemetryEvent::NO_LINK`] when not link-bound).
+        link: u32,
+        /// Flow id of the dropped packet (0 when unknown).
+        flow: u64,
+        /// Why.
+        reason: DropReason,
+    },
+    /// A loss-recovery transition fired at a sender.
+    Retx {
+        /// Simulated time (ns).
+        t_ns: u64,
+        /// Flow id.
+        flow: u64,
+        /// Owning job index.
+        job: u32,
+        /// Fast retransmit or RTO.
+        kind: RetxKind,
+        /// Running count of this kind for the flow (RTO: consecutive run
+        /// length; fast: cumulative fast-retransmit events).
+        count: u32,
+    },
+    /// A job crossed an iteration-phase boundary.
+    Phase {
+        /// Simulated time (ns).
+        t_ns: u64,
+        /// Job index.
+        job: u32,
+        /// Iteration index.
+        iter: u32,
+        /// Which boundary.
+        phase: PhaseKind,
+    },
+    /// A fault epoch: an installed fault action was applied to a link.
+    Fault {
+        /// Simulated time (ns).
+        t_ns: u64,
+        /// Link index.
+        link: u32,
+        /// Which action.
+        kind: FaultKind,
+        /// Rate factor for [`FaultKind::RateFactor`] (1.0 otherwise).
+        factor: f64,
+    },
+}
+
+/// Fieldless mirror of [`TelemetryEvent`], for counters and dispatch
+/// tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// [`TelemetryEvent::Cwnd`].
+    Cwnd,
+    /// [`TelemetryEvent::Gain`].
+    Gain,
+    /// [`TelemetryEvent::Rtt`].
+    Rtt,
+    /// [`TelemetryEvent::EcnMark`].
+    EcnMark,
+    /// [`TelemetryEvent::QueueDepth`].
+    QueueDepth,
+    /// [`TelemetryEvent::Drop`].
+    Drop,
+    /// [`TelemetryEvent::Retx`].
+    Retx,
+    /// [`TelemetryEvent::Phase`].
+    Phase,
+    /// [`TelemetryEvent::Fault`].
+    Fault,
+}
+
+impl EventKind {
+    /// Number of kinds.
+    pub const COUNT: usize = 9;
+
+    /// All kinds, in index order.
+    pub const ALL: [EventKind; Self::COUNT] = [
+        EventKind::Cwnd,
+        EventKind::Gain,
+        EventKind::Rtt,
+        EventKind::EcnMark,
+        EventKind::QueueDepth,
+        EventKind::Drop,
+        EventKind::Retx,
+        EventKind::Phase,
+        EventKind::Fault,
+    ];
+
+    /// Dense index (`0..COUNT`).
+    pub fn index(self) -> usize {
+        match self {
+            EventKind::Cwnd => 0,
+            EventKind::Gain => 1,
+            EventKind::Rtt => 2,
+            EventKind::EcnMark => 3,
+            EventKind::QueueDepth => 4,
+            EventKind::Drop => 5,
+            EventKind::Retx => 6,
+            EventKind::Phase => 7,
+            EventKind::Fault => 8,
+        }
+    }
+
+    /// Stable short name (the JSONL `"e"` tag).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Cwnd => "cwnd",
+            EventKind::Gain => "gain",
+            EventKind::Rtt => "rtt",
+            EventKind::EcnMark => "ecn",
+            EventKind::QueueDepth => "qdepth",
+            EventKind::Drop => "drop",
+            EventKind::Retx => "retx",
+            EventKind::Phase => "phase",
+            EventKind::Fault => "fault",
+        }
+    }
+
+    /// Parses the short name back.
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+impl TelemetryEvent {
+    /// Sentinel link index for drops not attributable to a link.
+    pub const NO_LINK: u32 = u32::MAX;
+
+    /// The event's fieldless kind.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            TelemetryEvent::Cwnd { .. } => EventKind::Cwnd,
+            TelemetryEvent::Gain { .. } => EventKind::Gain,
+            TelemetryEvent::Rtt { .. } => EventKind::Rtt,
+            TelemetryEvent::EcnMark { .. } => EventKind::EcnMark,
+            TelemetryEvent::QueueDepth { .. } => EventKind::QueueDepth,
+            TelemetryEvent::Drop { .. } => EventKind::Drop,
+            TelemetryEvent::Retx { .. } => EventKind::Retx,
+            TelemetryEvent::Phase { .. } => EventKind::Phase,
+            TelemetryEvent::Fault { .. } => EventKind::Fault,
+        }
+    }
+
+    /// The event's simulated timestamp, nanoseconds.
+    pub fn t_ns(&self) -> u64 {
+        match *self {
+            TelemetryEvent::Cwnd { t_ns, .. }
+            | TelemetryEvent::Gain { t_ns, .. }
+            | TelemetryEvent::Rtt { t_ns, .. }
+            | TelemetryEvent::EcnMark { t_ns, .. }
+            | TelemetryEvent::QueueDepth { t_ns, .. }
+            | TelemetryEvent::Drop { t_ns, .. }
+            | TelemetryEvent::Retx { t_ns, .. }
+            | TelemetryEvent::Phase { t_ns, .. }
+            | TelemetryEvent::Fault { t_ns, .. } => t_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_index_matches_all_order() {
+        for (i, k) in EventKind::ALL.into_iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert_eq!(EventKind::parse(k.name()), Some(k));
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for r in DropReason::ALL {
+            assert_eq!(DropReason::parse(r.name()), Some(r));
+        }
+        for k in [RetxKind::Fast, RetxKind::Rto] {
+            assert_eq!(RetxKind::parse(k.name()), Some(k));
+        }
+        for p in [
+            PhaseKind::ComputeStart,
+            PhaseKind::CommStart,
+            PhaseKind::IterEnd,
+        ] {
+            assert_eq!(PhaseKind::parse(p.name()), Some(p));
+        }
+        for f in [
+            FaultKind::LinkDown,
+            FaultKind::LinkUp,
+            FaultKind::RateFactor,
+            FaultKind::LossModel,
+            FaultKind::LossRestore,
+        ] {
+            assert_eq!(FaultKind::parse(f.name()), Some(f));
+        }
+    }
+
+    #[test]
+    fn kind_and_timestamp_accessors() {
+        let ev = TelemetryEvent::Phase {
+            t_ns: 42,
+            job: 1,
+            iter: 2,
+            phase: PhaseKind::CommStart,
+        };
+        assert_eq!(ev.kind(), EventKind::Phase);
+        assert_eq!(ev.t_ns(), 42);
+    }
+
+    /// Events sit on the hot emission path: keep them register-friendly.
+    #[test]
+    fn event_size_stays_small() {
+        assert!(std::mem::size_of::<TelemetryEvent>() <= 40);
+    }
+}

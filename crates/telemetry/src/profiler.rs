@@ -1,0 +1,156 @@
+//! Sim-time profiler: attributes wall-clock nanoseconds to simulator
+//! event kinds / phases so throughput regressions become explainable.
+//!
+//! The profiler itself holds no clock — the simulator measures each
+//! dispatch with `std::time::Instant` and calls [`SimProfiler::record`]
+//! with a label index and elapsed nanoseconds. That keeps this crate
+//! free of timing policy and the profiler trivially testable.
+
+/// Accumulates per-label event counts and wall-clock nanoseconds.
+#[derive(Debug, Clone)]
+pub struct SimProfiler {
+    labels: Vec<&'static str>,
+    events: Vec<u64>,
+    nanos: Vec<u64>,
+}
+
+impl SimProfiler {
+    /// A profiler with one accumulator per label.
+    pub fn new(labels: &[&'static str]) -> Self {
+        Self {
+            labels: labels.to_vec(),
+            events: vec![0; labels.len()],
+            nanos: vec![0; labels.len()],
+        }
+    }
+
+    /// Number of labels.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when constructed with no labels.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Adds one event of `elapsed_ns` wall-clock under label `idx`.
+    #[inline]
+    pub fn record(&mut self, idx: usize, elapsed_ns: u64) {
+        self.events[idx] += 1;
+        self.nanos[idx] += elapsed_ns;
+    }
+
+    /// Snapshots the accumulated attribution.
+    pub fn snapshot(&self) -> ProfileSnapshot {
+        ProfileSnapshot {
+            entries: self
+                .labels
+                .iter()
+                .zip(self.events.iter().zip(self.nanos.iter()))
+                .map(|(&label, (&events, &nanos))| ProfileEntry {
+                    label,
+                    events,
+                    nanos,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One label's accumulated attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileEntry {
+    /// The label (e.g. `"deliver"`).
+    pub label: &'static str,
+    /// Events attributed to it.
+    pub events: u64,
+    /// Wall-clock nanoseconds attributed to it.
+    pub nanos: u64,
+}
+
+impl ProfileEntry {
+    /// Mean nanoseconds per event (0 when no events).
+    pub fn ns_per_event(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.nanos as f64 / self.events as f64
+        }
+    }
+}
+
+/// A snapshot of a [`SimProfiler`], ready for reporting.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileSnapshot {
+    /// Per-label attribution, in label-registration order.
+    pub entries: Vec<ProfileEntry>,
+}
+
+impl ProfileSnapshot {
+    /// Total events across all labels.
+    pub fn total_events(&self) -> u64 {
+        self.entries.iter().map(|e| e.events).sum()
+    }
+
+    /// Total attributed wall-clock nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.entries.iter().map(|e| e.nanos).sum()
+    }
+
+    /// An entry's share of total attributed time, in `[0, 1]`.
+    pub fn share(&self, entry: &ProfileEntry) -> f64 {
+        let total = self.total_nanos();
+        if total == 0 {
+            0.0
+        } else {
+            entry.nanos as f64 / total as f64
+        }
+    }
+
+    /// Entries sorted by attributed time, busiest first.
+    pub fn by_time(&self) -> Vec<ProfileEntry> {
+        let mut out = self.entries.clone();
+        out.sort_by(|a, b| b.nanos.cmp(&a.nanos).then(a.label.cmp(b.label)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_attributes_shares() {
+        let mut p = SimProfiler::new(&["deliver", "timer"]);
+        p.record(0, 300);
+        p.record(0, 100);
+        p.record(1, 100);
+        let snap = p.snapshot();
+        assert_eq!(snap.total_events(), 3);
+        assert_eq!(snap.total_nanos(), 500);
+        let deliver = snap.entries[0];
+        assert_eq!(deliver.label, "deliver");
+        assert_eq!(deliver.events, 2);
+        assert_eq!(deliver.ns_per_event(), 200.0);
+        assert!((snap.share(&deliver) - 0.8).abs() < 1e-12);
+        let busiest = snap.by_time();
+        assert_eq!(busiest[0].label, "deliver");
+    }
+
+    #[test]
+    fn empty_profiler_is_safe() {
+        let p = SimProfiler::new(&[]);
+        assert!(p.is_empty());
+        let snap = p.snapshot();
+        assert_eq!(snap.total_events(), 0);
+        assert_eq!(
+            snap.share(&ProfileEntry {
+                label: "x",
+                events: 0,
+                nanos: 0
+            }),
+            0.0
+        );
+    }
+}

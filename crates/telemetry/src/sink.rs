@@ -1,0 +1,254 @@
+//! The [`TelemetrySink`] trait and the in-memory sink implementations.
+
+use crate::event::TelemetryEvent;
+use crate::metrics::{MetricsSink, MetricsSnapshot};
+use std::any::Any;
+
+/// A consumer of telemetry events.
+///
+/// Sinks are strictly observational: `record` takes a borrowed event and
+/// returns nothing, so an installed sink cannot perturb the simulation
+/// that feeds it. Events arrive in simulation order. A sink lives inside
+/// one simulator (simulations never migrate threads), so implementations
+/// need not be `Send`.
+pub trait TelemetrySink: Any {
+    /// Consumes one event.
+    fn record(&mut self, ev: &TelemetryEvent);
+
+    /// Associates a job index with a display name. Called once per job
+    /// when a sink is attached to a scenario, before any events.
+    fn job_name(&mut self, job: u32, name: &str) {
+        let _ = (job, name);
+    }
+
+    /// Flushes buffered output (called when the sink is detached).
+    fn flush(&mut self) {}
+
+    /// Consumes the boxed sink for downcasting back to its concrete type
+    /// (how harnesses retrieve a recorder or metrics sink after a run).
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// A sink that discards everything. Useful for measuring the cost of the
+/// dispatch machinery itself, and as the "enabled but inert" arm of
+/// determinism tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TelemetrySink for NoopSink {
+    #[inline]
+    fn record(&mut self, _ev: &TelemetryEvent) {}
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// A bounded ring-buffer recorder: keeps the most recent `capacity`
+/// events, dropping the oldest beyond that. Allocation happens once, up
+/// front; recording is an index write.
+#[derive(Debug, Clone)]
+pub struct RingRecorder {
+    buf: Vec<TelemetryEvent>,
+    capacity: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    total: u64,
+    jobs: Vec<(u32, String)>,
+}
+
+impl RingRecorder {
+    /// Creates a recorder holding up to `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            total: 0,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Total events offered (recorded + overwritten).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn overwritten(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TelemetryEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Job names registered at attach time, in registration order.
+    pub fn jobs(&self) -> &[(u32, String)] {
+        &self.jobs
+    }
+}
+
+impl TelemetrySink for RingRecorder {
+    #[inline]
+    fn record(&mut self, ev: &TelemetryEvent) {
+        self.total += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(*ev);
+        } else {
+            self.buf[self.head] = *ev;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    fn job_name(&mut self, job: u32, name: &str) {
+        self.jobs.push((job, name.to_string()));
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Fans each event out to several sinks (e.g. a metrics aggregator plus
+/// a JSONL trace writer in the same run).
+pub struct TeeSink {
+    sinks: Vec<Box<dyn TelemetrySink>>,
+}
+
+impl TeeSink {
+    /// Combines the given sinks; each receives every event in order.
+    pub fn new(sinks: Vec<Box<dyn TelemetrySink>>) -> Self {
+        Self { sinks }
+    }
+
+    /// Dissolves the tee back into its parts (flushing first).
+    pub fn into_parts(mut self) -> Vec<Box<dyn TelemetrySink>> {
+        for s in &mut self.sinks {
+            s.flush();
+        }
+        self.sinks
+    }
+}
+
+impl std::fmt::Debug for TeeSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TeeSink")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl TelemetrySink for TeeSink {
+    fn record(&mut self, ev: &TelemetryEvent) {
+        for s in &mut self.sinks {
+            s.record(ev);
+        }
+    }
+
+    fn job_name(&mut self, job: u32, name: &str) {
+        for s in &mut self.sinks {
+            s.job_name(job, name);
+        }
+    }
+
+    fn flush(&mut self) {
+        for s in &mut self.sinks {
+            s.flush();
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Extracts a [`MetricsSnapshot`] from a detached sink: works on a bare
+/// [`MetricsSink`] or finds one inside a [`TeeSink`]. Returns `None`
+/// when no metrics sink was installed.
+pub fn take_metrics(sink: Box<dyn TelemetrySink>) -> Option<MetricsSnapshot> {
+    let any = sink.into_any();
+    let any = match any.downcast::<MetricsSink>() {
+        Ok(m) => return Some(m.snapshot()),
+        Err(other) => other,
+    };
+    if let Ok(tee) = any.downcast::<TeeSink>() {
+        for part in tee.into_parts() {
+            if let Some(snap) = take_metrics(part) {
+                return Some(snap);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PhaseKind;
+
+    fn ev(t: u64) -> TelemetryEvent {
+        TelemetryEvent::Phase {
+            t_ns: t,
+            job: 0,
+            iter: 0,
+            phase: PhaseKind::IterEnd,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut r = RingRecorder::new(3);
+        for t in 0..5 {
+            r.record(&ev(t));
+        }
+        assert_eq!(r.total_recorded(), 5);
+        assert_eq!(r.overwritten(), 2);
+        let ts: Vec<u64> = r.events().iter().map(TelemetryEvent::t_ns).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_under_capacity_preserves_order() {
+        let mut r = RingRecorder::new(10);
+        for t in 0..4 {
+            r.record(&ev(t));
+        }
+        let ts: Vec<u64> = r.events().iter().map(TelemetryEvent::t_ns).collect();
+        assert_eq!(ts, vec![0, 1, 2, 3]);
+        assert_eq!(r.overwritten(), 0);
+    }
+
+    #[test]
+    fn tee_fans_out_and_dissolves() {
+        let mut tee = TeeSink::new(vec![
+            Box::new(RingRecorder::new(8)),
+            Box::new(RingRecorder::new(8)),
+        ]);
+        tee.job_name(0, "j");
+        tee.record(&ev(1));
+        tee.record(&ev(2));
+        for part in tee.into_parts() {
+            let r = part
+                .into_any()
+                .downcast::<RingRecorder>()
+                .expect("ring part");
+            assert_eq!(r.total_recorded(), 2);
+            assert_eq!(r.jobs(), &[(0, "j".to_string())]);
+        }
+    }
+
+    #[test]
+    fn take_metrics_finds_sink_in_tee() {
+        let mut tee = TeeSink::new(vec![Box::new(NoopSink), Box::new(MetricsSink::new())]);
+        tee.record(&ev(7));
+        let snap = take_metrics(Box::new(tee)).expect("metrics inside tee");
+        assert_eq!(snap.counter("events/phase"), 1);
+        assert!(take_metrics(Box::new(NoopSink)).is_none());
+    }
+}

@@ -94,6 +94,9 @@ pub struct Mltcp<C: CongestionControl> {
     f: Box<dyn Aggressiveness + Send>,
     mode: Mode,
     last_ratio: f64,
+    /// The most recently applied gain (1.0 while learning or in
+    /// unscaled slow start), reported via `gain_state`.
+    last_gain: f64,
     scale_slow_start: bool,
 }
 
@@ -129,6 +132,7 @@ impl<C: CongestionControl> Mltcp<C> {
             f: Box::new(f),
             mode,
             last_ratio: 0.0,
+            last_gain: 1.0,
             scale_slow_start: config.scale_slow_start,
         }
     }
@@ -180,9 +184,8 @@ impl<C: CongestionControl> CongestionControl for Mltcp<C> {
                 }
                 // While learning, behave exactly like the base algorithm.
                 self.last_ratio = 0.0;
-                let gain_one_before = w.cwnd;
+                self.last_gain = 1.0;
                 self.inner.on_ack(ev, w);
-                let _ = gain_one_before;
                 return;
             }
         };
@@ -194,6 +197,7 @@ impl<C: CongestionControl> CongestionControl for Mltcp<C> {
         } else {
             self.f.eval(ratio)
         };
+        self.last_gain = gain;
         // Target-tracking bases (CUBIC) consume the gain natively; for
         // the rest, scale the applied increment post hoc (exact Eq. 1
         // for additive algorithms like Reno and DCTCP).
@@ -219,6 +223,10 @@ impl<C: CongestionControl> CongestionControl for Mltcp<C> {
 
     fn on_transfer_start(&mut self, now: SimTime) {
         self.inner.on_transfer_start(now);
+    }
+
+    fn gain_state(&self) -> Option<(f64, f64)> {
+        Some((self.last_gain, self.last_ratio))
     }
 
     fn name(&self) -> &'static str {

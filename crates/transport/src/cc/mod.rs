@@ -124,6 +124,16 @@ pub trait CongestionControl: std::fmt::Debug + Send + std::any::Any {
         false
     }
 
+    /// The algorithm's current `(gain, bytes_ratio)` pair, for telemetry.
+    ///
+    /// Plain algorithms have no gain concept and return `None` (the
+    /// default); the [`Mltcp`] wrapper reports its most recently applied
+    /// `F(bytes_ratio)`. The sender emits a `Gain` telemetry event
+    /// whenever this value changes.
+    fn gain_state(&self) -> Option<(f64, f64)> {
+        None
+    }
+
     /// Algorithm name for logs and experiment tables.
     fn name(&self) -> &'static str;
 }

@@ -17,6 +17,7 @@ use mltcp_netsim::node::NodeId;
 use mltcp_netsim::packet::{EcnCodepoint, FlowId, Packet, SegmentHeader};
 use mltcp_netsim::sim::{Agent, AgentCtx, AgentId};
 use mltcp_netsim::time::{SimDuration, SimTime};
+use mltcp_telemetry::{RetxKind, TelemetryEvent};
 use std::collections::{BTreeMap, VecDeque};
 
 /// How data packets are priority-tagged (for schedulers that use tags).
@@ -69,6 +70,10 @@ pub struct SenderConfig {
     /// Initial RTO before any RTT sample; `None` keeps the default of
     /// `min_rto × 10`.
     pub initial_rto: Option<mltcp_netsim::time::SimDuration>,
+    /// Training-job index this flow belongs to (0 for standalone flows).
+    /// Carried into [`SenderStats`] and telemetry events so traces can be
+    /// grouped per job without a side table.
+    pub job: u32,
 }
 
 impl SenderConfig {
@@ -86,6 +91,7 @@ impl SenderConfig {
             min_rto: mltcp_netsim::time::SimDuration::millis(1),
             max_rto: mltcp_netsim::time::SimDuration::secs(4),
             initial_rto: None,
+            job: 0,
         }
     }
 }
@@ -93,6 +99,8 @@ impl SenderConfig {
 /// Counters exposed for tests and experiment harnesses.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SenderStats {
+    /// Training-job index from [`SenderConfig::job`].
+    pub job: u32,
     /// Data segments sent (including retransmissions).
     pub segments_sent: u64,
     /// Retransmitted segments.
@@ -156,6 +164,9 @@ pub struct TcpSender {
     outage_start: Option<SimTime>,
     /// Current run of consecutive RTOs.
     consecutive_timeouts: u64,
+    /// Last gain reported via a `Gain` telemetry event (so the trace only
+    /// carries changes, not one line per ack).
+    last_gain_emitted: f64,
     stats: SenderStats,
 }
 
@@ -173,6 +184,7 @@ impl TcpSender {
             .initial_rto
             .unwrap_or(SimDuration(cfg.min_rto.as_nanos().saturating_mul(10)));
         let rtt = RttEstimator::new(initial_rto, cfg.min_rto, cfg.max_rto);
+        let job_idx = cfg.job;
         Self {
             rtt,
             cfg,
@@ -194,7 +206,11 @@ impl TcpSender {
             last_progress_at: SimTime::ZERO,
             outage_start: None,
             consecutive_timeouts: 0,
-            stats: SenderStats::default(),
+            last_gain_emitted: 1.0,
+            stats: SenderStats {
+                job: job_idx,
+                ..SenderStats::default()
+            },
         }
     }
 
@@ -252,6 +268,33 @@ impl TcpSender {
             pkt = pkt.with_ecn(EcnCodepoint::Capable);
         }
         pkt
+    }
+
+    /// Emits a `Cwnd` snapshot (telemetry-gated; free when disabled).
+    fn emit_cwnd(&self, ctx: &mut AgentCtx<'_>) {
+        if ctx.telemetry_enabled() {
+            ctx.emit(TelemetryEvent::Cwnd {
+                t_ns: ctx.now().as_nanos(),
+                flow: self.cfg.flow.0,
+                job: self.cfg.job,
+                cwnd: self.window.cwnd,
+                ssthresh: self.window.ssthresh,
+            });
+        }
+    }
+
+    /// Emits a `Retx` event plus the post-response window snapshot.
+    fn emit_retx(&self, ctx: &mut AgentCtx<'_>, kind: RetxKind, count: u64) {
+        if ctx.telemetry_enabled() {
+            ctx.emit(TelemetryEvent::Retx {
+                t_ns: ctx.now().as_nanos(),
+                flow: self.cfg.flow.0,
+                job: self.cfg.job,
+                kind,
+                count: u32::try_from(count).unwrap_or(u32::MAX),
+            });
+        }
+        self.emit_cwnd(ctx);
     }
 
     fn arm_rto(&mut self, ctx: &mut AgentCtx<'_>) {
@@ -319,6 +362,7 @@ impl TcpSender {
                     self.window.clamp_min();
                     self.go_back_n(ctx);
                     self.arm_rto(ctx);
+                    self.emit_retx(ctx, RetxKind::Fast, self.stats.fast_retransmits);
                 }
             }
             return;
@@ -369,6 +413,30 @@ impl TcpSender {
         };
         self.cc.on_ack(&ev, &mut self.window);
         self.window.clamp_min();
+
+        if ctx.telemetry_enabled() {
+            if let Some(rtt) = sample {
+                ctx.emit(TelemetryEvent::Rtt {
+                    t_ns: ctx.now().as_nanos(),
+                    flow: self.cfg.flow.0,
+                    job: self.cfg.job,
+                    rtt_ns: rtt.as_nanos(),
+                });
+            }
+            if let Some((gain, ratio)) = self.cc.gain_state() {
+                if gain != self.last_gain_emitted {
+                    self.last_gain_emitted = gain;
+                    ctx.emit(TelemetryEvent::Gain {
+                        t_ns: ctx.now().as_nanos(),
+                        flow: self.cfg.flow.0,
+                        job: self.cfg.job,
+                        gain,
+                        bytes_ratio: ratio,
+                    });
+                }
+            }
+            self.emit_cwnd(ctx);
+        }
 
         // Completion notifications for every boundary crossed.
         while let Some(&end) = self.pending_ends.front() {
@@ -454,6 +522,7 @@ impl Agent for TcpSender {
         self.window.clamp_min();
         self.go_back_n(ctx);
         self.arm_rto(ctx);
+        self.emit_retx(ctx, RetxKind::Rto, self.consecutive_timeouts);
     }
 
     fn on_message(&mut self, ctx: &mut AgentCtx<'_>, _from: AgentId, token: u64) {

@@ -14,6 +14,7 @@ use mltcp_netsim::packet::Packet;
 use mltcp_netsim::rng::SimRng;
 use mltcp_netsim::sim::{Agent, AgentCtx, AgentId};
 use mltcp_netsim::time::{SimDuration, SimTime};
+use mltcp_telemetry::{PhaseKind, TelemetryEvent};
 use mltcp_transport::proto::{self, Msg};
 
 /// One completed training iteration.
@@ -67,6 +68,8 @@ enum Phase {
 #[derive(Debug)]
 pub struct JobDriver {
     spec: JobSpec,
+    /// Scenario-assigned job index carried in telemetry `Phase` events.
+    job_id: u32,
     senders: Vec<AgentId>,
     rng: SimRng,
     phase: Phase,
@@ -95,6 +98,7 @@ impl JobDriver {
     pub fn new(spec: JobSpec, noise_seed: u64) -> Self {
         Self {
             spec,
+            job_id: 0,
             senders: Vec::new(),
             rng: SimRng::new(noise_seed),
             phase: Phase::Pending,
@@ -106,6 +110,30 @@ impl JobDriver {
             comm_starts: Vec::new(),
             restart_fired: false,
             restart_resume: None,
+        }
+    }
+
+    /// Sets the scenario-assigned job index carried in telemetry `Phase`
+    /// events (builder-style; defaults to 0).
+    pub fn with_job_id(mut self, job_id: u32) -> Self {
+        self.job_id = job_id;
+        self
+    }
+
+    /// The scenario-assigned job index.
+    pub fn job_id(&self) -> u32 {
+        self.job_id
+    }
+
+    /// Emits an iteration-phase boundary (telemetry-gated).
+    fn emit_phase(&self, ctx: &mut AgentCtx<'_>, iter: u32, phase: PhaseKind) {
+        if ctx.telemetry_enabled() {
+            ctx.emit(TelemetryEvent::Phase {
+                t_ns: ctx.now().as_nanos(),
+                job: self.job_id,
+                iter,
+                phase,
+            });
         }
     }
 
@@ -239,6 +267,7 @@ impl JobDriver {
             }
         }
         self.iter_start = ctx.now();
+        self.emit_phase(ctx, self.iter_index, PhaseKind::ComputeStart);
         // Draw the iteration's compute-time noise once; each of the
         // `bursts` compute slices gets an equal share.
         let mean = self.spec.compute_time.as_secs_f64();
@@ -275,6 +304,7 @@ impl JobDriver {
         if burst_idx == 0 {
             self.comm_start = ctx.now();
             self.comm_starts.push(self.comm_start);
+            self.emit_phase(ctx, self.iter_index, PhaseKind::CommStart);
         }
         let bytes = self.burst_bytes(burst_idx);
         self.phase = Phase::Communicating {
@@ -340,6 +370,7 @@ impl Agent for JobDriver {
                 comm_start: self.comm_start,
                 end: ctx.now(),
             });
+            self.emit_phase(ctx, self.iter_index, PhaseKind::IterEnd);
             self.iter_index += 1;
             self.begin_iteration(ctx);
         }

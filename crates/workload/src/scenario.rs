@@ -394,7 +394,8 @@ impl ScenarioBuilder {
             let driver_host = dumbbell.senders[pair_idx];
             let driver = sim.add_agent(
                 driver_host,
-                JobDriver::new(spec.clone(), self.seed.wrapping_mul(1000) + job_idx as u64),
+                JobDriver::new(spec.clone(), self.seed.wrapping_mul(1000) + job_idx as u64)
+                    .with_job_id(job_idx as u32),
             );
             let mut senders = Vec::new();
             let mut flows = Vec::new();
@@ -422,6 +423,7 @@ impl ScenarioBuilder {
                 next_flow += 1;
                 let mut cfg = SenderConfig::new(flow, dst);
                 cfg.driver = Some(driver);
+                cfg.job = job_idx as u32;
                 cfg.priority = self.priority.clone();
                 cfg.ecn = cc_spec.needs_ecn();
                 cfg.min_rto = min_rto;
@@ -486,6 +488,23 @@ impl Scenario {
             }
             next = self.sim.now() + slice;
         }
+    }
+
+    /// Installs a telemetry sink, first registering every job's
+    /// `(index, name)` pair so traces are self-describing. Replaces any
+    /// previous sink. Sinks observe without perturbing: a run with any
+    /// sink attached is event-for-event identical to one without.
+    pub fn set_telemetry(&mut self, mut sink: Box<dyn mltcp_telemetry::TelemetrySink>) {
+        for (idx, job) in self.jobs.iter().enumerate() {
+            sink.job_name(idx as u32, &job.name);
+        }
+        self.sim.set_sink(sink);
+    }
+
+    /// Detaches the telemetry sink (flushed), e.g. to downcast a
+    /// recorder or extract a metrics snapshot after the run.
+    pub fn take_telemetry(&mut self) -> Option<Box<dyn mltcp_telemetry::TelemetrySink>> {
+        self.sim.take_sink()
     }
 
     /// Whether every job completed all its iterations.
