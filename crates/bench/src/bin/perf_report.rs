@@ -1,12 +1,25 @@
 //! **Performance report** — the tracked events/sec baseline.
 //!
 //! Measures the simulator's hot-path throughput (events processed per
-//! wall-clock second) on a canonical contended workload, and the sweep
-//! harness's parallel speedup (the same multi-seed sweep run inline and
-//! on all cores), then writes `BENCH_PR1.json` at the repository root.
-//! That file is the committed baseline: future performance PRs re-run
-//! this binary (release profile, quiet machine) and compare. See
-//! DESIGN.md § Performance for how to read and update it.
+//! wall-clock second) on a canonical contended workload — on **both**
+//! event engines, interleaved, best-of-N per engine — plus the sweep
+//! harness's parallel speedup, then writes `BENCH_PR5.json` at the
+//! repository root. That file is the committed baseline: future
+//! performance PRs re-run this binary (release profile, quiet machine)
+//! and compare. See DESIGN.md § Performance for how to read and update
+//! it.
+//!
+//! Best-of-N, interleaved: shared CI boxes show ±30% run-to-run wall
+//! clock noise, which a single pass cannot distinguish from a real
+//! regression. Each engine runs `MLTCP_PERF_PASSES` (default 3) passes,
+//! alternating heap/wheel so thermal or neighbour drift hits both
+//! equally, and the minimum wall time per engine is the reported number
+//! (the minimum estimates the noise-free cost; means smear the noise
+//! back in).
+//!
+//! The duel doubles as a determinism check: every pass on either engine
+//! must produce the same event count *and* the same replay hash, or the
+//! engines have diverged and the throughput comparison is meaningless.
 //!
 //! ```text
 //! cargo run --release -p mltcp-bench --bin perf_report
@@ -15,13 +28,16 @@
 //! Knobs: `MLTCP_SCALE` / `MLTCP_ITERS` / `MLTCP_SEED` as in every other
 //! figure binary, so the measured workload is reproducible. Set
 //! `MLTCP_PERF_CHECK=<frac>` (e.g. `0.05`) to *check* the measured
-//! disabled-telemetry throughput against the committed `BENCH_PR1.json`
+//! wheel-engine throughput against the committed `BENCH_PR5.json`
 //! instead of rewriting it — the binary exits non-zero when throughput
 //! fell more than that fraction below the baseline.
 
-use mltcp_bench::experiments::{gpt2_jobs, mix_deadline, uniform_scenario};
+use mltcp_bench::experiments::{
+    gpt2_jobs, mix_deadline, scenario_replay_hash, uniform_builder, uniform_scenario,
+};
 use mltcp_bench::json::Json;
 use mltcp_bench::{iters_or, scale, seed};
+use mltcp_netsim::event::EngineKind;
 use mltcp_telemetry::RingRecorder;
 use mltcp_workload::scenario::{CongestionSpec, FnSpec, Scenario};
 use mltcp_workload::SweepRunner;
@@ -31,31 +47,87 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 /// The canonical single-simulator workload: 6 GPT-2 jobs sharing the
-/// dumbbell under MLTCP-Reno.
-fn build_workload(scale: f64, iters: u32, sd: u64) -> Scenario {
-    uniform_scenario(
+/// dumbbell under MLTCP-Reno, pinned to an explicit event engine.
+fn build_workload(scale: f64, iters: u32, sd: u64, engine: EngineKind) -> Scenario {
+    uniform_builder(
         sd,
         gpt2_jobs(scale, iters, 6),
         CongestionSpec::MltcpReno(FnSpec::Paper),
     )
+    .engine(engine)
+    .build()
 }
 
-/// Runs the canonical workload and returns (events, wall seconds).
-/// Telemetry stays detached — this is the tracked baseline number.
-fn single_run(scale: f64, iters: u32, sd: u64) -> (u64, f64) {
-    let mut sc = build_workload(scale, iters, sd);
+/// One timed pass of the canonical workload. Telemetry stays detached —
+/// this is the tracked baseline path. Returns (events, wall seconds,
+/// replay hash).
+fn single_pass(scale: f64, iters: u32, sd: u64, engine: EngineKind) -> (u64, f64, u64) {
+    let mut sc = build_workload(scale, iters, sd, engine);
     let t0 = Instant::now();
     sc.run(mix_deadline(scale, iters));
     let wall = t0.elapsed().as_secs_f64();
     assert!(sc.all_finished(), "perf workload did not finish");
-    (sc.sim.stats().events, wall)
+    (sc.sim.stats().events, wall, scenario_replay_hash(&sc))
+}
+
+/// Best-of-N result for one engine.
+struct Measured {
+    events: u64,
+    best_wall: f64,
+    hash: u64,
+}
+
+impl Measured {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.best_wall.max(1e-9)
+    }
+}
+
+/// Runs `passes` interleaved heap/wheel passes and keeps the best wall
+/// time per engine. Panics if any pass disagrees on event count or
+/// replay hash — cross-engine equivalence is a precondition for the
+/// throughput numbers meaning anything.
+fn engine_duel(scale: f64, iters: u32, sd: u64, passes: usize) -> (Measured, Measured) {
+    let mut best = [f64::INFINITY; 2];
+    let mut baseline: Option<(u64, u64)> = None;
+    let engines = [EngineKind::Heap, EngineKind::Wheel];
+    for pass in 0..passes {
+        for (slot, &engine) in engines.iter().enumerate() {
+            let (events, wall, hash) = single_pass(scale, iters, sd, engine);
+            match baseline {
+                None => baseline = Some((events, hash)),
+                Some((ev0, h0)) => {
+                    assert_eq!(
+                        events, ev0,
+                        "{engine:?} pass {pass}: event count diverged between engines/passes"
+                    );
+                    assert_eq!(
+                        hash, h0,
+                        "{engine:?} pass {pass}: replay hash diverged — engines are not equivalent"
+                    );
+                }
+            }
+            best[slot] = best[slot].min(wall);
+            println!(
+                "  pass {pass} {engine:<5?}: {events} events in {wall:.3}s  ->  {:.3} M events/sec",
+                events as f64 / wall.max(1e-9) / 1e6
+            );
+        }
+    }
+    let (events, hash) = baseline.expect("at least one pass");
+    let m = |slot: usize| Measured {
+        events,
+        best_wall: best[slot],
+        hash,
+    };
+    (m(0), m(1))
 }
 
 /// The same workload with a ring-buffer telemetry sink attached — the
 /// enabled-path overhead measurement. Returns (events, wall seconds,
 /// telemetry events recorded).
 fn ring_run(scale: f64, iters: u32, sd: u64) -> (u64, f64, u64) {
-    let mut sc = build_workload(scale, iters, sd);
+    let mut sc = build_workload(scale, iters, sd, EngineKind::Wheel);
     sc.set_telemetry(Box::new(RingRecorder::new(1 << 16)));
     let t0 = Instant::now();
     sc.run(mix_deadline(scale, iters));
@@ -79,18 +151,24 @@ fn ring_run(scale: f64, iters: u32, sd: u64) -> (u64, f64, u64) {
 /// The same workload under the sim-time profiler; returns the per-kind
 /// wall-clock attribution.
 fn profiled_run(scale: f64, iters: u32, sd: u64) -> mltcp_telemetry::ProfileSnapshot {
-    let mut sc = build_workload(scale, iters, sd);
+    let mut sc = build_workload(scale, iters, sd, EngineKind::Wheel);
     sc.sim.enable_profiler();
     sc.run(mix_deadline(scale, iters));
     assert!(sc.all_finished(), "profiled perf workload did not finish");
     sc.sim.profile_snapshot().expect("profiler enabled")
 }
 
-/// Extracts `single_thread.events_per_sec` from a committed
-/// `BENCH_PR1.json` without a JSON parser: the key is unique to that
-/// section in the report we write.
+/// Extracts the first `events_per_sec` value from a committed benchmark
+/// report without a JSON parser: the report writer always emits the
+/// tracked single-thread number before any other `events_per_sec` key.
 fn baseline_events_per_sec(text: &str) -> Option<f64> {
-    let at = text.find("\"events_per_sec\"")?;
+    json_number(text, "\"events_per_sec\"")
+}
+
+/// First numeric value following `key` in a committed report — enough
+/// of a parser for the flat keys the report writer emits.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let at = text.find(key)?;
     let rest = &text[at..];
     let colon = rest.find(':')?;
     let tail = rest[colon + 1..].trim_start();
@@ -125,30 +203,41 @@ fn sweep_run(scale: f64, iters: u32, seeds: &[u64], threads: usize) -> (u64, f64
 fn main() {
     let scale = scale();
     let iters = iters_or(30);
+    let passes: usize = std::env::var("MLTCP_PERF_PASSES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
     let cores = std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1);
 
-    // Warm up (page in code + allocator), then measure the single run.
-    let _ = single_run(scale, iters.min(5), seed());
-    let (events, wall) = single_run(scale, iters, seed());
-    let single_eps = events as f64 / wall.max(1e-9);
+    // Warm up (page in code + allocator) on both engines, then duel.
+    let _ = single_pass(scale, iters.min(5), seed(), EngineKind::Heap);
+    let _ = single_pass(scale, iters.min(5), seed(), EngineKind::Wheel);
+    println!("engine duel (best of {passes} interleaved passes each):");
+    let (heap, wheel) = engine_duel(scale, iters, seed(), passes);
+    let wheel_eps = wheel.events_per_sec();
+    let heap_eps = heap.events_per_sec();
     println!(
-        "single simulator : {events} events in {wall:.3}s  ->  {:.3} M events/sec",
-        single_eps / 1e6
+        "single simulator : wheel {:.3} M events/sec, heap {:.3} M  ->  wheel/heap {:.2}x  (replay {:016x})",
+        wheel_eps / 1e6,
+        heap_eps / 1e6,
+        wheel_eps / heap_eps.max(1e-9),
+        wheel.hash
     );
 
     // Telemetry-enabled overhead: the same workload with a ring sink.
     let (ring_events, ring_wall, recorded) = ring_run(scale, iters, seed());
     assert_eq!(
-        events, ring_events,
+        wheel.events, ring_events,
         "a telemetry sink changed the event count — the observe-only contract is broken"
     );
     let ring_eps = ring_events as f64 / ring_wall.max(1e-9);
     println!(
         "with ring sink   : {recorded} telemetry events recorded  ->  {:.3} M events/sec ({:+.1}% vs disabled)",
         ring_eps / 1e6,
-        (ring_eps / single_eps - 1.0) * 100.0
+        (ring_eps / wheel_eps - 1.0) * 100.0
     );
 
     // Wall-clock attribution by event kind.
@@ -177,20 +266,36 @@ fn main() {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("MLTCP_PERF_CHECK: cannot read {}: {e}", path.display()));
         let baseline = baseline_events_per_sec(&text)
-            .expect("BENCH_PR1.json has single_thread.events_per_sec");
+            .expect("BENCH_PR5.json has single_thread.events_per_sec");
         let floor = baseline * (1.0 - frac);
         println!(
             "perf check       : measured {:.3} M events/sec vs baseline {:.3} M (floor {:.3} M at -{:.0}%)",
-            single_eps / 1e6,
+            wheel_eps / 1e6,
             baseline / 1e6,
             floor / 1e6,
             frac * 100.0
         );
         assert!(
-            single_eps >= floor,
+            wheel_eps >= floor,
             "disabled-telemetry throughput regressed more than {:.0}% below the committed baseline",
             frac * 100.0
         );
+        // The absolute floor is machine-speed-dependent, so it must stay
+        // loose; the wheel/heap ratio — both engines measured interleaved
+        // in the same window — is speed-invariant and pins the engine
+        // overhaul's win tightly.
+        if let Some(committed) = json_number(&text, "\"wheel_vs_heap\"") {
+            let measured = wheel_eps / heap_eps.max(1e-9);
+            let ratio_floor = committed - 0.15;
+            println!(
+                "perf check       : wheel/heap {measured:.2}x vs committed {committed:.2}x (floor {ratio_floor:.2}x)"
+            );
+            assert!(
+                measured >= ratio_floor,
+                "the wheel engine's advantage over the heap collapsed \
+                 ({measured:.2}x measured vs {committed:.2}x committed)"
+            );
+        }
         println!("perf check       : OK (baseline left untouched)");
         return;
     }
@@ -210,8 +315,14 @@ fn main() {
         seeds.len()
     );
 
+    // The PR1 heap-only baseline this PR is measured against, when the
+    // committed file is still present.
+    let pr1_baseline = std::fs::read_to_string(pr1_path())
+        .ok()
+        .and_then(|t| baseline_events_per_sec(&t));
+
     let report = Json::obj([
-        ("bench", Json::str("BENCH_PR1")),
+        ("bench", Json::str("BENCH_PR5")),
         (
             "command",
             Json::str("cargo run --release -p mltcp-bench --bin perf_report"),
@@ -220,6 +331,7 @@ fn main() {
         ("scale", Json::Num(scale)),
         ("iters", Json::Num(f64::from(iters))),
         ("seed", Json::Num(seed() as f64)),
+        ("passes", Json::Num(passes as f64)),
         (
             "single_thread",
             Json::obj([
@@ -227,10 +339,32 @@ fn main() {
                     "scenario",
                     Json::str("6 GPT-2 jobs, MLTCP-Reno, shared dumbbell"),
                 ),
-                ("events", Json::Num(events as f64)),
-                ("wall_secs", Json::Num(wall)),
-                ("events_per_sec", Json::Num(single_eps)),
+                ("engine", Json::str("wheel")),
+                ("events", Json::Num(wheel.events as f64)),
+                ("wall_secs", Json::Num(wheel.best_wall)),
+                ("events_per_sec", Json::Num(wheel_eps)),
+                ("replay_hash", Json::str(format!("{:016x}", wheel.hash))),
             ]),
+        ),
+        (
+            "heap_engine",
+            Json::obj([
+                ("events", Json::Num(heap.events as f64)),
+                ("wall_secs", Json::Num(heap.best_wall)),
+                ("events_per_sec", Json::Num(heap_eps)),
+                ("replay_hash", Json::str(format!("{:016x}", heap.hash))),
+            ]),
+        ),
+        ("wheel_vs_heap", Json::Num(wheel_eps / heap_eps.max(1e-9))),
+        (
+            "vs_pr1",
+            match pr1_baseline {
+                Some(b) => Json::obj([
+                    ("baseline_events_per_sec", Json::Num(b)),
+                    ("ratio", Json::Num(wheel_eps / b.max(1e-9))),
+                ]),
+                None => Json::str("BENCH_PR1.json not found"),
+            },
         ),
         (
             "telemetry_overhead",
@@ -242,7 +376,7 @@ fn main() {
                 ("telemetry_events_recorded", Json::Num(recorded as f64)),
                 (
                     "overhead_frac",
-                    Json::Num(1.0 - ring_eps / single_eps.max(1e-9)),
+                    Json::Num(1.0 - ring_eps / wheel_eps.max(1e-9)),
                 ),
             ]),
         ),
@@ -292,6 +426,15 @@ fn main() {
                      MLTCP trackers, and job drivers",
                 ),
                 Json::str(
+                    "single-thread numbers are best-of-N interleaved passes \
+                     per engine; shared runners show +/-30% wall-clock noise \
+                     on single passes",
+                ),
+                Json::str(
+                    "heap and wheel engines must agree on event count and \
+                     replay hash every pass; the duel enforces it",
+                ),
+                Json::str(
                     "the sweep speedup is bounded by the machine's core \
                      count; on a single-core runner sequential and parallel \
                      are the same code path",
@@ -310,10 +453,19 @@ fn main() {
     }
 }
 
-/// `BENCH_PR1.json` at the workspace root when run via cargo, else the
+/// `BENCH_PR5.json` at the workspace root when run via cargo, else the
 /// current directory.
 fn bench_path() -> PathBuf {
+    workspace_file("BENCH_PR5.json")
+}
+
+/// The committed PR1 baseline, for the vs-PR1 ratio in the report.
+fn pr1_path() -> PathBuf {
+    workspace_file("BENCH_PR1.json")
+}
+
+fn workspace_file(name: &str) -> PathBuf {
     std::env::var("CARGO_MANIFEST_DIR")
-        .map(|d| PathBuf::from(d).join("../../BENCH_PR1.json"))
-        .unwrap_or_else(|_| PathBuf::from("BENCH_PR1.json"))
+        .map(|d| PathBuf::from(d).join("../..").join(name))
+        .unwrap_or_else(|_| PathBuf::from(name))
 }

@@ -13,6 +13,7 @@ use mltcp_bench::experiments::{
     gpt2_jobs, mean_steady_ratio, mix_deadline, uniform_scenario, FaultCase, PlanKind,
 };
 use mltcp_bench::json::Json;
+use mltcp_netsim::event::EngineKind;
 use mltcp_netsim::fault::GilbertElliott;
 use mltcp_netsim::time::{SimDuration, SimTime};
 use mltcp_workload::scenario::{CongestionSpec, FnSpec, LinkFault};
@@ -85,9 +86,9 @@ fn parallel_sweep_output_is_byte_identical_to_sequential() {
 /// The same sweep-determinism contract on a *faulted* scenario: link
 /// flap + bursty-loss window + a job restart, all seeded from the run's
 /// seed. Fault injection draws loss from per-link RNG streams and
-/// replays scheduled faults through the event queue, so worker count
-/// must not leak into the trace.
-fn faulted_sweep_json(threads: usize) -> String {
+/// replays scheduled faults through the event queue, so neither worker
+/// count nor the event-engine choice may leak into the trace.
+fn faulted_sweep_json(threads: usize, engine: EngineKind) -> String {
     let period = SimDuration::from_secs_f64(1.8 * SCALE);
     let at = SimTime::from_secs_f64(1.8 * SCALE * 2.0);
     let seeds: Vec<u64> = (0..8).map(|i| 42 + 7 * i).collect();
@@ -113,6 +114,7 @@ fn faulted_sweep_json(threads: usize) -> String {
                 duration: period,
                 model: GilbertElliott::bursty(0.05, 0.3, 0.4),
             })
+            .engine(engine)
             .build();
         sc.run(mix_deadline(SCALE, ITERS));
         assert!(sc.all_finished(), "seed {sd}: faulted jobs did not finish");
@@ -147,18 +149,35 @@ fn faulted_sweep_json(threads: usize) -> String {
 
 #[test]
 fn faulted_sweep_output_is_byte_identical_across_worker_counts() {
-    let sequential = faulted_sweep_json(1);
+    let sequential = faulted_sweep_json(1, EngineKind::Wheel);
     assert!(sequential.contains("mean_steady_ratio"));
     assert!(sequential.len() > 1000, "suspiciously small sweep output");
 
-    let par4 = faulted_sweep_json(4);
+    let par4 = faulted_sweep_json(4, EngineKind::Wheel);
     assert_eq!(
         sequential, par4,
         "4-worker faulted sweep output diverged from sequential"
     );
-    let par8 = faulted_sweep_json(8);
+    let par8 = faulted_sweep_json(8, EngineKind::Wheel);
     assert_eq!(
         sequential, par8,
         "8-worker faulted sweep output diverged from sequential"
     );
+}
+
+/// The PR's zero-drift acceptance gate at sweep granularity: the faulted
+/// sweep's serialized output must be byte-identical between the heap and
+/// wheel engines at every worker count. A wheel that reorders even one
+/// same-time event would shift a loss draw and show up here.
+#[test]
+fn faulted_sweep_output_is_byte_identical_between_engines() {
+    let wheel = faulted_sweep_json(1, EngineKind::Wheel);
+    assert!(wheel.len() > 1000, "suspiciously small sweep output");
+    for threads in [1, 4, 8] {
+        let heap = faulted_sweep_json(threads, EngineKind::Heap);
+        assert_eq!(
+            wheel, heap,
+            "{threads}-worker heap-engine faulted sweep diverged from the wheel engine"
+        );
+    }
 }

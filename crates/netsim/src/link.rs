@@ -6,7 +6,7 @@
 
 use crate::node::NodeId;
 use crate::queue::QueueKind;
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Index of a directed channel within a topology.
@@ -50,9 +50,16 @@ impl Bandwidth {
     /// Time to serialize `bytes` at this rate (rounded up to whole ns).
     pub fn tx_time(self, bytes: u32) -> SimDuration {
         debug_assert!(self.0 > 0, "zero-rate link");
-        let bits = u128::from(bytes) * 8 * 1_000_000_000;
-        let ns = bits.div_ceil(u128::from(self.0));
-        SimDuration(ns as u64)
+        // Realistic packet sizes keep `bytes × 8e9` inside u64, where the
+        // division is a single hardware instruction; the u128 path (a
+        // software routine) exists only for absurd byte counts.
+        match u64::from(bytes).checked_mul(8 * 1_000_000_000) {
+            Some(bits) => SimDuration(bits.div_ceil(self.0)),
+            None => {
+                let bits = u128::from(bytes) * 8 * 1_000_000_000;
+                SimDuration(bits.div_ceil(u128::from(self.0)) as u64)
+            }
+        }
     }
 
     /// The bandwidth-delay product in bytes for a given round-trip time.
@@ -132,6 +139,12 @@ pub struct Channel {
     /// Cumulative packets dropped at this channel (queue drops + random
     /// loss).
     pub packets_dropped: u64,
+    /// One-entry serialization-time memo (`bytes` key, `u32::MAX` when
+    /// empty). A directed channel carries mostly one packet size (MTU
+    /// data one way, acks the other), so this turns the per-packet
+    /// division into a compare. Only consulted at `rate_factor == 1.0`.
+    tx_cache_bytes: u32,
+    tx_cache_ns: u64,
 }
 
 impl Channel {
@@ -149,18 +162,37 @@ impl Channel {
             bytes_sent: 0,
             packets_sent: 0,
             packets_dropped: 0,
+            tx_cache_bytes: u32::MAX,
+            tx_cache_ns: 0,
         }
     }
 
     /// Serialization time for a packet of `bytes` on this channel at the
     /// current effective rate (provisioned rate × `rate_factor`).
-    pub fn tx_time(&self, bytes: u32) -> SimDuration {
-        let base = self.spec.rate.tx_time(bytes);
+    pub fn tx_time(&mut self, bytes: u32) -> SimDuration {
         if self.rate_factor == 1.0 {
-            base
+            if self.tx_cache_bytes == bytes {
+                return SimDuration(self.tx_cache_ns);
+            }
+            let t = self.spec.rate.tx_time(bytes);
+            self.tx_cache_bytes = bytes;
+            self.tx_cache_ns = t.as_nanos();
+            t
         } else {
+            let base = self.spec.rate.tx_time(bytes);
             SimDuration((base.as_nanos() as f64 / self.rate_factor).ceil() as u64)
         }
+    }
+
+    /// The two instants produced by starting to serialize `bytes` at
+    /// `now`: when the serializer frees up (`done`, the channel-idle
+    /// wakeup) and when the packet reaches the far node (`done` plus the
+    /// propagation delay). Arrivals per channel are monotone in `now`
+    /// because `done` is — this is the FIFO invariant the event engine's
+    /// link rails rely on (see `crate::event`).
+    pub fn serialize_spans(&mut self, now: SimTime, bytes: u32) -> (SimTime, SimTime) {
+        let done = now + self.tx_time(bytes);
+        (done, done + self.spec.delay)
     }
 }
 
@@ -196,6 +228,21 @@ mod tests {
         // 50 Gbps × 80 µs RTT = 500 kB.
         let bdp = Bandwidth::gbps(50).bdp_bytes(SimDuration::micros(80));
         assert_eq!(bdp, 500_000);
+    }
+
+    #[test]
+    fn serialize_spans_orders_done_before_arrival() {
+        use crate::node::NodeId;
+        let spec = LinkSpec::new(Bandwidth::gbps(1), SimDuration::micros(5));
+        let mut ch = Channel::new(LinkId(0), NodeId(0), NodeId(1), spec);
+        let (done, arrival) = ch.serialize_spans(SimTime(100), 1500);
+        assert_eq!(done, SimTime(100) + SimDuration::micros(12));
+        assert_eq!(arrival, done + SimDuration::micros(5));
+        // A brownout stretches serialization but not propagation.
+        ch.rate_factor = 0.5;
+        let (slow_done, slow_arrival) = ch.serialize_spans(SimTime(100), 1500);
+        assert_eq!(slow_done, SimTime(100) + SimDuration::micros(24));
+        assert_eq!(slow_arrival, slow_done + SimDuration::micros(5));
     }
 
     #[test]

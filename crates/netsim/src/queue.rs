@@ -63,17 +63,107 @@ impl QueueKind {
     }
 
     /// Instantiates the discipline.
-    pub fn build(self) -> Box<dyn Queue> {
+    pub fn build(self) -> LinkQueue {
         match self {
-            QueueKind::DropTail { cap_bytes } => Box::new(FifoQueue::new(cap_bytes, None)),
+            QueueKind::DropTail { cap_bytes } => LinkQueue::Fifo(FifoQueue::new(cap_bytes, None)),
             QueueKind::EcnDropTail {
                 cap_bytes,
                 mark_threshold_bytes,
-            } => Box::new(FifoQueue::new(cap_bytes, Some(mark_threshold_bytes))),
+            } => LinkQueue::Fifo(FifoQueue::new(cap_bytes, Some(mark_threshold_bytes))),
             QueueKind::StrictPriority { cap_bytes } | QueueKind::Mlfq { cap_bytes } => {
-                Box::new(PriorityQueue::new(cap_bytes))
+                LinkQueue::Priority(PriorityQueue::new(cap_bytes))
             }
         }
+    }
+}
+
+/// A built per-channel queue, dispatched by enum match rather than
+/// vtable: enqueue/dequeue sit on the serializer hot path, and the two
+/// variants let the compiler inline both bodies behind one predictable
+/// branch instead of an indirect call.
+#[derive(Debug)]
+pub enum LinkQueue {
+    /// FIFO (plain or ECN-marking).
+    Fifo(FifoQueue),
+    /// pFabric/PIAS strict priority.
+    Priority(PriorityQueue),
+}
+
+impl LinkQueue {
+    /// Offers a packet to the discipline (see [`Queue::enqueue`]).
+    #[inline]
+    pub fn enqueue(&mut self, pkt: Packet) -> EnqueueOutcome {
+        match self {
+            LinkQueue::Fifo(q) => q.enqueue(pkt),
+            LinkQueue::Priority(q) => q.enqueue(pkt),
+        }
+    }
+
+    /// Removes the next packet to transmit.
+    #[inline]
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        match self {
+            LinkQueue::Fifo(q) => q.dequeue(),
+            LinkQueue::Priority(q) => q.dequeue(),
+        }
+    }
+
+    /// Current backlog in bytes.
+    #[inline]
+    pub fn backlog_bytes(&self) -> u64 {
+        match self {
+            LinkQueue::Fifo(q) => q.backlog_bytes(),
+            LinkQueue::Priority(q) => q.backlog_bytes(),
+        }
+    }
+
+    /// Current backlog in packets.
+    #[inline]
+    pub fn backlog_packets(&self) -> usize {
+        match self {
+            LinkQueue::Fifo(q) => q.backlog_packets(),
+            LinkQueue::Priority(q) => q.backlog_packets(),
+        }
+    }
+
+    /// Whether the queue is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.backlog_packets() == 0
+    }
+
+    /// Whether the queue is empty *and* would accept a packet of `wire`
+    /// bytes unmodified right now — i.e. enqueue-then-dequeue would be
+    /// the identity. This is the admission check behind the simulator's
+    /// cut-through fast path: an empty queue never drops, evicts, or
+    /// ECN-marks an arrival that fits the byte cap (marking thresholds
+    /// compare against a backlog of zero).
+    #[inline]
+    pub fn passes_through(&self, wire: u32) -> bool {
+        match self {
+            LinkQueue::Fifo(q) => q.queue.is_empty() && u64::from(wire) <= q.cap_bytes,
+            LinkQueue::Priority(q) => q.queue.is_empty() && u64::from(wire) <= q.cap_bytes,
+        }
+    }
+}
+
+// Custom disciplines can still be used through the trait; the built-in
+// pair goes through the enum's inherent methods.
+impl Queue for LinkQueue {
+    fn enqueue(&mut self, pkt: Packet) -> EnqueueOutcome {
+        LinkQueue::enqueue(self, pkt)
+    }
+
+    fn dequeue(&mut self) -> Option<Packet> {
+        LinkQueue::dequeue(self)
+    }
+
+    fn backlog_bytes(&self) -> u64 {
+        LinkQueue::backlog_bytes(self)
+    }
+
+    fn backlog_packets(&self) -> usize {
+        LinkQueue::backlog_packets(self)
     }
 }
 
@@ -276,6 +366,32 @@ mod tests {
 
     fn ecn_pkt(size_payload: u32) -> Packet {
         pkt(1, size_payload, 0).with_ecn(EcnCodepoint::Capable)
+    }
+
+    #[test]
+    fn build_selects_the_discipline() {
+        let mut q = QueueKind::default_drop_tail().build();
+        assert!(matches!(q, LinkQueue::Fifo(_)));
+        q.enqueue(pkt(1, 100, 0));
+        assert_eq!(q.backlog_packets(), 1);
+        assert_eq!(q.dequeue().unwrap().flow, FlowId(1));
+        assert!(q.is_empty());
+        let p = QueueKind::StrictPriority { cap_bytes: 1000 }.build();
+        assert!(matches!(p, LinkQueue::Priority(_)));
+    }
+
+    #[test]
+    fn passes_through_only_when_empty_and_fitting() {
+        let mut q = QueueKind::DropTail { cap_bytes: 5_000 }.build();
+        assert!(q.passes_through(1540));
+        assert!(!q.passes_through(6_000)); // over the byte cap
+        q.enqueue(pkt(1, 100, 0));
+        assert!(!q.passes_through(40)); // non-empty: must really queue
+        q.dequeue();
+        assert!(q.passes_through(40));
+        let p = QueueKind::StrictPriority { cap_bytes: 300 }.build();
+        assert!(p.passes_through(140));
+        assert!(!p.passes_through(400));
     }
 
     #[test]

@@ -20,12 +20,12 @@
 //!   flow.
 //! * All ties are broken deterministically (see [`crate::event`]).
 
-use crate::event::{Delivery, EventKind, EventQueue};
+use crate::event::{EngineKind, EventKind, EventQueue, Popped, PoppedKind};
 use crate::fault::{FaultAction, FaultPlan, LossModel, LossState};
 use crate::link::LinkId;
 use crate::node::{NodeId, NodeKind};
 use crate::packet::{FlowId, Packet};
-use crate::queue::{EnqueueOutcome, Queue};
+use crate::queue::{EnqueueOutcome, LinkQueue};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
@@ -36,18 +36,24 @@ use mltcp_telemetry::{
 use std::any::Any;
 
 /// Labels for the sim-time profiler, in [`SimProfiler::record`] index
-/// order: one per event kind, plus agent start-up.
-const PROFILE_LABELS: [&str; 6] = [
+/// order: one per event kind, plus agent start-up, plus the scheduler
+/// itself (`sched` times each successful `pop`, so engine overhead is
+/// attributed separately from dispatch work).
+const PROFILE_LABELS: [&str; 7] = [
     "channel_idle",
     "deliver",
     "timer",
     "message",
     "fault",
     "agent_start",
+    "sched",
 ];
 
 /// Profiler label index for agent start-up handlers.
 const PROFILE_AGENT_START: usize = 5;
+
+/// Profiler label index for event-queue pops (scheduler overhead).
+const PROFILE_SCHED: usize = 6;
 
 /// Handle to an agent registered with a simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -104,7 +110,7 @@ struct SimCore {
     now: SimTime,
     events: EventQueue,
     topo: Topology,
-    queues: Vec<Box<dyn Queue>>,
+    queues: Vec<LinkQueue>,
     /// Per-link bandwidth trace, indexed by `LinkId::index()`; `None`
     /// when tracing is off for that link (the common case).
     traces: Vec<Option<BandwidthTrace>>,
@@ -123,12 +129,6 @@ struct SimCore {
     /// which agent receives packets of a given flow at this host.
     flow_tables: Vec<Vec<(FlowId, AgentId)>>,
     agent_hosts: Vec<NodeId>,
-    /// Free list of recycled `Deliver` payload boxes; bounded by the
-    /// peak number of in-flight deliveries. The boxes are the resource
-    /// being pooled — `Deliver` stores `Box<Delivery>` to keep `Event`
-    /// small, and this list lets it reuse those allocations.
-    #[allow(clippy::vec_box)]
-    pkt_pool: Vec<Box<Delivery>>,
     stats: SimStats,
     /// Installed telemetry sink, if any. Emission sites gate on
     /// `is_some()` and construct events only in the taken branch, so the
@@ -138,29 +138,6 @@ struct SimCore {
 }
 
 impl SimCore {
-    /// Wraps a packet for a `Deliver` event, reusing a pooled box when
-    /// one is free.
-    fn boxed(&mut self, node: NodeId, via: LinkId, epoch: u32, pkt: Packet) -> Box<Delivery> {
-        let d = Delivery {
-            node,
-            via,
-            epoch,
-            pkt,
-        };
-        match self.pkt_pool.pop() {
-            Some(mut b) => {
-                *b = d;
-                b
-            }
-            None => Box::new(d),
-        }
-    }
-
-    /// Returns a delivered packet's box to the pool.
-    fn recycle(&mut self, b: Box<Delivery>) {
-        self.pkt_pool.push(b);
-    }
-
     /// The agent bound to `flow` at `node`, if any.
     fn bound_agent(&self, flow: FlowId, node: NodeId) -> Option<AgentId> {
         self.flow_tables[node.index()]
@@ -173,6 +150,20 @@ impl SimCore {
     /// serializer if idle.
     fn enqueue_on(&mut self, link: LinkId, pkt: Packet) {
         let li = link.index();
+        // Cut-through: when the queue is empty and the channel is idle
+        // and up, enqueue-then-immediately-dequeue is the identity (no
+        // drop, eviction, or ECN mark is possible against a zero
+        // backlog), so the packet goes straight to the serializer. Gated
+        // off whenever a telemetry sink is installed so QueueDepth
+        // events keep their exact pre-existing cadence.
+        if self.sink.is_none()
+            && !self.topo.channels[li].busy
+            && self.topo.channels[li].up
+            && self.queues[li].passes_through(pkt.wire_bytes)
+        {
+            self.transmit(link, pkt);
+            return;
+        }
         let flow = pkt.flow;
         match self.queues[li].enqueue(pkt) {
             EnqueueOutcome::Accepted => {
@@ -242,11 +233,18 @@ impl SimCore {
             self.topo.channels[li].busy = false;
             return;
         };
+        self.transmit(link, pkt);
+    }
+
+    /// Serializes `pkt` on an idle, up channel: marks it busy, schedules
+    /// the channel-idle departure, and (unless loss fires) the delivery.
+    /// Shared tail of [`SimCore::start_tx`] and the cut-through path in
+    /// [`SimCore::enqueue_on`].
+    fn transmit(&mut self, link: LinkId, pkt: Packet) {
+        let li = link.index();
         let ch = &mut self.topo.channels[li];
         ch.busy = true;
-        let tx = ch.tx_time(pkt.wire_bytes);
-        let done = self.now + tx;
-        let arrival = done + ch.spec.delay;
+        let (done, arrival) = ch.serialize_spans(self.now, pkt.wire_bytes);
         ch.bytes_sent += u64::from(pkt.wire_bytes);
         ch.packets_sent += 1;
         let to = ch.to;
@@ -270,8 +268,7 @@ impl SimCore {
                 });
             }
         } else {
-            let d = self.boxed(to, link, epoch, pkt);
-            self.events.schedule(arrival, EventKind::Deliver(d));
+            self.events.schedule_delivery(arrival, to, link, epoch, pkt);
         }
     }
 
@@ -392,8 +389,9 @@ impl AgentCtx<'_> {
         let host = self.node();
         if pkt.dst == host {
             let at = self.core.now;
-            let d = self.core.boxed(host, LinkId::NONE, 0, pkt);
-            self.core.events.schedule(at, EventKind::Deliver(d));
+            self.core
+                .events
+                .schedule_delivery(at, host, LinkId::NONE, 0, pkt);
             return;
         }
         self.core.forward(host, pkt);
@@ -472,8 +470,17 @@ pub struct Simulator {
 
 impl Simulator {
     /// Creates a simulator over a routed topology with a deterministic
-    /// seed.
+    /// seed, on the environment-selected event engine
+    /// ([`EngineKind::from_env`]).
     pub fn new(topo: Topology, seed: u64) -> Self {
+        Self::with_engine(topo, seed, EngineKind::from_env())
+    }
+
+    /// Creates a simulator on an explicit event engine. Both engines
+    /// produce bit-for-bit identical runs (see [`crate::event`]); the
+    /// choice only affects wall-clock speed, which is why cross-engine
+    /// replay-hash checks are meaningful.
+    pub fn with_engine(topo: Topology, seed: u64, engine: EngineKind) -> Self {
         let queues: Vec<_> = topo.channels.iter().map(|c| c.spec.queue.build()).collect();
         let traces = (0..topo.channels.len()).map(|_| None).collect();
         let flow_tables = vec![Vec::new(); topo.nodes.len()];
@@ -488,7 +495,7 @@ impl Simulator {
         Self {
             core: SimCore {
                 now: SimTime::ZERO,
-                events: EventQueue::new(),
+                events: EventQueue::with_engine(engine),
                 topo,
                 queues,
                 traces,
@@ -498,7 +505,6 @@ impl Simulator {
                 faults: Vec::new(),
                 flow_tables,
                 agent_hosts: Vec::new(),
-                pkt_pool: Vec::new(),
                 stats: SimStats::default(),
                 sink: None,
             },
@@ -506,6 +512,17 @@ impl Simulator {
             started: false,
             profiler: None,
         }
+    }
+
+    /// The event engine this simulator runs on.
+    pub fn engine(&self) -> EngineKind {
+        self.core.events.engine()
+    }
+
+    /// Approximate retained capacity of the event queue, in event-sized
+    /// slots — observable for memory-high-water tests.
+    pub fn event_queue_capacity(&self) -> usize {
+        self.core.events.capacity()
     }
 
     /// Registers an agent on a host and returns its id.
@@ -670,18 +687,18 @@ impl Simulator {
 
     /// Dispatches one already-popped event, timing it when the profiler
     /// is enabled.
-    fn dispatch(&mut self, ev: crate::event::Event) {
+    fn dispatch(&mut self, ev: Popped) {
         debug_assert!(ev.at >= self.core.now, "time went backwards");
         self.core.now = ev.at;
         self.core.stats.events += 1;
         if self.profiler.is_some() {
             // Label indices match PROFILE_LABELS order.
             let label = match ev.kind {
-                EventKind::ChannelIdle { .. } => 0,
-                EventKind::Deliver(_) => 1,
-                EventKind::Timer { .. } => 2,
-                EventKind::Message { .. } => 3,
-                EventKind::Fault { .. } => 4,
+                PoppedKind::ChannelIdle { .. } => 0,
+                PoppedKind::Deliver(_) => 1,
+                PoppedKind::Timer { .. } => 2,
+                PoppedKind::Message { .. } => 3,
+                PoppedKind::Fault { .. } => 4,
             };
             let t0 = std::time::Instant::now();
             self.dispatch_kind(ev.kind);
@@ -696,16 +713,12 @@ impl Simulator {
 
     /// The dispatch body proper (separate so [`Simulator::dispatch`] can
     /// wrap it with wall-clock attribution).
-    fn dispatch_kind(&mut self, kind: EventKind) {
+    fn dispatch_kind(&mut self, kind: PoppedKind) {
         match kind {
-            EventKind::ChannelIdle { link } => {
+            PoppedKind::ChannelIdle { link } => {
                 self.core.start_tx(link);
             }
-            EventKind::Deliver(d) => {
-                // Copy the delivery out and recycle its box before any
-                // handler runs, so the pool is warm for re-sends.
-                let dv = *d;
-                self.core.recycle(d);
+            PoppedKind::Deliver(dv) => {
                 // A stale epoch means the carrying link went down after
                 // serialization began: the packet was cut on the wire.
                 if dv.via != LinkId::NONE
@@ -747,23 +760,46 @@ impl Simulator {
                     },
                 }
             }
-            EventKind::Timer { agent, token } => {
+            PoppedKind::Timer { agent, token } => {
                 self.with_agent(agent as usize, |a, ctx| a.on_timer(ctx, token));
             }
-            EventKind::Message { to, from, token } => {
+            PoppedKind::Message { to, from, token } => {
                 self.with_agent(to as usize, |a, ctx| {
                     a.on_message(ctx, AgentId(from as usize), token)
                 });
             }
-            EventKind::Fault { index } => {
+            PoppedKind::Fault { index } => {
                 self.core.apply_fault(index as usize);
             }
         }
     }
 
+    /// Pops one event, attributing the pop's wall-clock to the `sched`
+    /// profiler label when profiling (only successful pops are recorded,
+    /// so `sched.events` matches the dispatched-event count).
+    fn profiled_pop(&mut self, deadline: Option<SimTime>) -> Option<Popped> {
+        let pop = |core: &mut SimCore| match deadline {
+            Some(d) => core.events.pop_event_before(d),
+            None => core.events.pop_event(),
+        };
+        if self.profiler.is_some() {
+            let t0 = std::time::Instant::now();
+            let ev = pop(&mut self.core);
+            let ns = t0.elapsed().as_nanos() as u64;
+            if ev.is_some() {
+                if let Some(p) = self.profiler.as_mut() {
+                    p.record(PROFILE_SCHED, ns);
+                }
+            }
+            ev
+        } else {
+            pop(&mut self.core)
+        }
+    }
+
     /// Processes a single event. Returns `false` when the queue is empty.
     fn step(&mut self) -> bool {
-        match self.core.events.pop() {
+        match self.profiled_pop(None) {
             Some(ev) => {
                 self.dispatch(ev);
                 true
@@ -772,11 +808,11 @@ impl Simulator {
         }
     }
 
-    /// Processes a single event if it fires at or before `deadline`
-    /// (one heap access, no separate peek). Returns `false` when the
-    /// queue is empty or the next event is later than the deadline.
+    /// Processes a single event if it fires at or before `deadline`.
+    /// Returns `false` when the queue is empty or the next event is later
+    /// than the deadline.
     fn step_before(&mut self, deadline: SimTime) -> bool {
-        match self.core.events.pop_before(deadline) {
+        match self.profiled_pop(Some(deadline)) {
             Some(ev) => {
                 self.dispatch(ev);
                 true
@@ -1269,17 +1305,17 @@ mod tests {
         sim.run();
         assert_eq!(sim.agent::<Pinger>(pinger).echoes, 10);
         let snap = sim.profile_snapshot().expect("profiler enabled");
-        let agent_starts = snap
-            .entries
-            .iter()
-            .find(|e| e.label == "agent_start")
-            .expect("agent_start label");
+        let agent_starts = snap.find("agent_start").expect("agent_start label");
         assert_eq!(agent_starts.events, 2);
+        // Every dispatched event is attributed twice — once to its kind,
+        // once to the scheduler pop that produced it — plus agent starts.
+        let sched = snap.find("sched").expect("sched label");
+        assert_eq!(sched.events, sim.stats().events);
         assert_eq!(
             snap.total_events(),
-            sim.stats().events + agent_starts.events
+            2 * sim.stats().events + agent_starts.events
         );
-        let delivers = snap.entries.iter().find(|e| e.label == "deliver").unwrap();
+        let delivers = snap.find("deliver").unwrap();
         assert_eq!(delivers.events, 20); // 10 data + 10 acks
     }
 

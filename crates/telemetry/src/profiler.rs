@@ -108,6 +108,11 @@ impl ProfileSnapshot {
         }
     }
 
+    /// The entry for `label`, if one was registered.
+    pub fn find(&self, label: &str) -> Option<&ProfileEntry> {
+        self.entries.iter().find(|e| e.label == label)
+    }
+
     /// Entries sorted by attributed time, busiest first.
     pub fn by_time(&self) -> Vec<ProfileEntry> {
         let mut out = self.entries.clone();
@@ -136,6 +141,8 @@ mod tests {
         assert!((snap.share(&deliver) - 0.8).abs() < 1e-12);
         let busiest = snap.by_time();
         assert_eq!(busiest[0].label, "deliver");
+        assert_eq!(snap.find("timer").unwrap().events, 1);
+        assert!(snap.find("nope").is_none());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use mltcp_netsim::packet::{EcnCodepoint, FlowId, Packet, SegmentHeader};
 use mltcp_netsim::sim::{Agent, AgentCtx, AgentId};
 use mltcp_netsim::time::{SimDuration, SimTime};
 use mltcp_telemetry::{RetxKind, TelemetryEvent};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// How data packets are priority-tagged (for schedulers that use tags).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -150,7 +150,11 @@ pub struct TcpSender {
     resend_below: u64,
     /// Per-segment send records for Karn-compliant RTT samples:
     /// `seq → (send time, was_retransmitted)`.
-    send_times: BTreeMap<u64, (SimTime, bool)>,
+    /// Kept as a deque, not a map: segments are recorded in strictly
+    /// increasing `seq` order (go-back-N clears before any rewind), so
+    /// acks drain from the front with zero per-ack allocation — this is
+    /// the per-ack hot path.
+    send_times: VecDeque<(u64, SimTime, bool)>,
     /// RTO timer generation (lazy cancellation).
     rto_gen: u64,
     rto_armed: bool,
@@ -199,7 +203,7 @@ impl TcpSender {
             recover: 0,
             dup_acks: 0,
             resend_below: 0,
-            send_times: BTreeMap::new(),
+            send_times: VecDeque::new(),
             rto_gen: 0,
             rto_armed: false,
             completions: Vec::new(),
@@ -320,7 +324,14 @@ impl TcpSender {
                 .expect("segment fits u32");
             let pkt = self.make_segment(me, self.snd_nxt, len);
             let is_resend = self.snd_nxt < self.resend_below;
-            self.send_times.insert(self.snd_nxt, (ctx.now(), is_resend));
+            debug_assert!(
+                self.send_times
+                    .back()
+                    .is_none_or(|&(s, _, _)| s < self.snd_nxt),
+                "send records must stay seq-ordered"
+            );
+            self.send_times
+                .push_back((self.snd_nxt, ctx.now(), is_resend));
             self.snd_nxt += u64::from(len);
             self.stats.segments_sent += 1;
             if is_resend {
@@ -372,11 +383,14 @@ impl TcpSender {
         self.dup_acks = 0;
 
         // Karn's algorithm: sample RTT from the newest fully-acked,
-        // never-retransmitted segment.
+        // never-retransmitted segment. Records are seq-ordered, so the
+        // covered prefix drains from the front without allocating.
         let mut sample = None;
-        let covered: Vec<u64> = self.send_times.range(..cum_ack).map(|(&s, _)| s).collect();
-        for s in covered {
-            let (t, retx) = self.send_times.remove(&s).expect("key from range");
+        while let Some(&(s, t, retx)) = self.send_times.front() {
+            if s >= cum_ack {
+                break;
+            }
+            self.send_times.pop_front();
             if !retx {
                 sample = Some(ctx.now() - t);
             }
